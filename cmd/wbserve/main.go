@@ -1,0 +1,48 @@
+// Command wbserve serves webpage briefings over HTTP — the deployment form
+// §I motivates ("the functionality of WB may be added to web browsers").
+// POST a page's HTML to /brief and receive the hierarchical briefing as
+// JSON.
+//
+// Usage:
+//
+//	wbserve -model model.bin -addr :8080
+//	curl -s --data-binary @page.html http://localhost:8080/brief
+//
+// Train a model bundle first with cmd/wbtrain.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+
+	"webbrief/internal/wb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wbserve: ")
+	modelPath := flag.String("model", "model.bin", "model bundle from wbtrain")
+	addr := flag.String("addr", ":8080", "listen address")
+	beam := flag.Int("beam", 8, "beam width for topic decoding")
+	flag.Parse()
+
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		log.Fatalf("open model: %v (train one with wbtrain)", err)
+	}
+	m, v, err := wb.LoadJointWB(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/brief", wb.NewBriefer(m, v, *beam, 0))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	log.Printf("serving briefings on %s (POST HTML to /brief)", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

@@ -1,0 +1,18 @@
+// Package webbrief is a pure-Go (stdlib-only) reproduction of "Automatic
+// Webpage Briefing" (Dai, Zhang, Qi — ICDE 2021): the webpage-briefing task,
+// the Joint-WB model, the Dual-Distill and Tri-Distill knowledge-distillation
+// methods, every baseline the paper evaluates, and a benchmark harness that
+// regenerates every table of the paper's evaluation section.
+//
+// The public surface is the three commands (cmd/wbrief, cmd/wbtrain,
+// cmd/wbexp) and the runnable examples under examples/. The implementation
+// lives in internal/: tensor math and autodiff (tensor, ag), neural layers
+// (nn), optimizers (opt), an HTML renderer (htmldom), text preprocessing and
+// WordPiece (textproc), embeddings (embed), the synthetic labelled corpus
+// (corpus), the core models (wb), distillation (distill), baselines
+// (baselines), metrics (eval) and the experiment drivers (experiments).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// paper-to-module mapping, and EXPERIMENTS.md for reproduced-vs-paper
+// results.
+package webbrief

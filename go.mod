@@ -1,0 +1,3 @@
+module webbrief
+
+go 1.22

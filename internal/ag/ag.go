@@ -1,0 +1,650 @@
+// Package ag implements tape-based reverse-mode automatic differentiation
+// over tensor.Matrix values. It is the training engine underneath every
+// model in this repository: the Joint-WB teacher, the distilled students,
+// and all baselines.
+//
+// A Tape records operations as they execute. Each operation returns a *Node
+// holding the forward value and a closure that propagates gradients to its
+// inputs. Calling Tape.Backward(loss) seeds d(loss)/d(loss)=1 and runs the
+// closures in reverse recording order, which is a valid topological order by
+// construction.
+//
+// Model parameters live outside any tape as *Param values; Tape.Use enters a
+// parameter into the current tape so that Backward accumulates into
+// Param.Grad. This lets a training step build a fresh tape per example while
+// parameters (and their Adam state) persist across steps.
+package ag
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"webbrief/internal/tensor"
+)
+
+// Node is one value in the computation graph.
+type Node struct {
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix // allocated lazily on first gradient contribution
+	back  func()         // propagates n.Grad into parents; nil for leaves
+}
+
+// Rows returns the row count of the node's value.
+func (n *Node) Rows() int { return n.Value.Rows }
+
+// Cols returns the column count of the node's value.
+func (n *Node) Cols() int { return n.Value.Cols }
+
+func (n *Node) grad() *tensor.Matrix {
+	if n.Grad == nil {
+		n.Grad = tensor.New(n.Value.Rows, n.Value.Cols)
+	}
+	return n.Grad
+}
+
+// addGrad accumulates g into n's gradient buffer.
+func (n *Node) addGrad(g *tensor.Matrix) { n.grad().AddInPlace(g) }
+
+// Param is a trainable parameter: a persistent value with a persistent
+// gradient accumulator shared across tapes.
+type Param struct {
+	Name  string
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix
+}
+
+// NewParam creates a named parameter around v with a zeroed gradient.
+func NewParam(name string, v *tensor.Matrix) *Param {
+	return &Param{Name: name, Value: v, Grad: tensor.New(v.Rows, v.Cols)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Tape records operations for reverse-mode differentiation.
+type Tape struct {
+	nodes []*Node
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Len reports the number of recorded nodes, exported for tests and
+// capacity diagnostics.
+func (t *Tape) Len() int { return len(t.nodes) }
+
+func (t *Tape) record(n *Node) *Node {
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Const enters a constant matrix into the graph. No gradient flows into it.
+func (t *Tape) Const(v *tensor.Matrix) *Node {
+	return t.record(&Node{Value: v})
+}
+
+// Use enters parameter p into the graph; Backward accumulates into p.Grad.
+func (t *Tape) Use(p *Param) *Node {
+	n := &Node{Value: p.Value}
+	n.back = func() {
+		if n.Grad != nil {
+			p.Grad.AddInPlace(n.Grad)
+		}
+	}
+	return t.record(n)
+}
+
+// Backward runs reverse-mode accumulation from loss, which must be a 1×1
+// node recorded on this tape.
+func (t *Tape) Backward(loss *Node) {
+	if loss.Value.Rows != 1 || loss.Value.Cols != 1 {
+		panic(fmt.Sprintf("ag: Backward needs scalar loss, got %dx%d", loss.Value.Rows, loss.Value.Cols))
+	}
+	loss.grad().Data[0] = 1
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := t.nodes[i]
+		if n.back != nil && n.Grad != nil {
+			n.back()
+		}
+	}
+}
+
+// --- Arithmetic -----------------------------------------------------------
+
+// Add returns a + b (same shape).
+func (t *Tape) Add(a, b *Node) *Node {
+	n := &Node{Value: a.Value.Add(b.Value)}
+	n.back = func() {
+		a.addGrad(n.Grad)
+		b.addGrad(n.Grad)
+	}
+	return t.record(n)
+}
+
+// Sub returns a - b.
+func (t *Tape) Sub(a, b *Node) *Node {
+	n := &Node{Value: a.Value.Sub(b.Value)}
+	n.back = func() {
+		a.addGrad(n.Grad)
+		b.grad().AddScaledInPlace(n.Grad, -1)
+	}
+	return t.record(n)
+}
+
+// Mul returns the elementwise product a ⊙ b.
+func (t *Tape) Mul(a, b *Node) *Node {
+	n := &Node{Value: a.Value.Mul(b.Value)}
+	n.back = func() {
+		a.grad().AddInPlace(n.Grad.Mul(b.Value))
+		b.grad().AddInPlace(n.Grad.Mul(a.Value))
+	}
+	return t.record(n)
+}
+
+// Scale returns s*a for a fixed scalar s.
+func (t *Tape) Scale(a *Node, s float64) *Node {
+	n := &Node{Value: a.Value.Scale(s)}
+	n.back = func() { a.grad().AddScaledInPlace(n.Grad, s) }
+	return t.record(n)
+}
+
+// MatMul returns a·b.
+func (t *Tape) MatMul(a, b *Node) *Node {
+	n := &Node{Value: a.Value.MatMul(b.Value)}
+	n.back = func() {
+		// dA = dC·Bᵀ ; dB = Aᵀ·dC
+		a.grad().AddInPlace(n.Grad.MatMulTransB(b.Value))
+		b.grad().AddInPlace(a.Value.MatMulTransA(n.Grad))
+	}
+	return t.record(n)
+}
+
+// MatMulTransB returns a·bᵀ.
+func (t *Tape) MatMulTransB(a, b *Node) *Node {
+	n := &Node{Value: a.Value.MatMulTransB(b.Value)}
+	n.back = func() {
+		// C = A·Bᵀ: dA = dC·B ; dB = dCᵀ·A
+		a.grad().AddInPlace(n.Grad.MatMul(b.Value))
+		b.grad().AddInPlace(n.Grad.MatMulTransA(a.Value))
+	}
+	return t.record(n)
+}
+
+// AddRowVector adds the 1×cols vector v to every row of a.
+func (t *Tape) AddRowVector(a, v *Node) *Node {
+	n := &Node{Value: a.Value.AddRowVector(v.Value)}
+	n.back = func() {
+		a.addGrad(n.Grad)
+		g := v.grad()
+		for i := 0; i < n.Grad.Rows; i++ {
+			row := n.Grad.Row(i)
+			for j, x := range row {
+				g.Data[j] += x
+			}
+		}
+	}
+	return t.record(n)
+}
+
+// --- Nonlinearities -------------------------------------------------------
+
+// Tanh applies tanh elementwise.
+func (t *Tape) Tanh(a *Node) *Node {
+	val := a.Value.Tanh()
+	n := &Node{Value: val}
+	n.back = func() {
+		g := a.grad()
+		for i, y := range val.Data {
+			g.Data[i] += n.Grad.Data[i] * (1 - y*y)
+		}
+	}
+	return t.record(n)
+}
+
+// Sigmoid applies the logistic function elementwise.
+func (t *Tape) Sigmoid(a *Node) *Node {
+	val := a.Value.Sigmoid()
+	n := &Node{Value: val}
+	n.back = func() {
+		g := a.grad()
+		for i, y := range val.Data {
+			g.Data[i] += n.Grad.Data[i] * y * (1 - y)
+		}
+	}
+	return t.record(n)
+}
+
+// ReLU applies max(0,x) elementwise.
+func (t *Tape) ReLU(a *Node) *Node {
+	val := a.Value.ReLU()
+	n := &Node{Value: val}
+	n.back = func() {
+		g := a.grad()
+		for i := range val.Data {
+			if a.Value.Data[i] > 0 {
+				g.Data[i] += n.Grad.Data[i]
+			}
+		}
+	}
+	return t.record(n)
+}
+
+// SoftmaxRows applies row-wise softmax.
+func (t *Tape) SoftmaxRows(a *Node) *Node {
+	val := a.Value.SoftmaxRows()
+	n := &Node{Value: val}
+	n.back = func() {
+		g := a.grad()
+		for i := 0; i < val.Rows; i++ {
+			y := val.Row(i)
+			dy := n.Grad.Row(i)
+			// dx = y ⊙ (dy - (dy·y))
+			var dot float64
+			for j, v := range y {
+				dot += dy[j] * v
+			}
+			gr := g.Row(i)
+			for j, v := range y {
+				gr[j] += v * (dy[j] - dot)
+			}
+		}
+	}
+	return t.record(n)
+}
+
+// LogSoftmaxRows applies row-wise log-softmax.
+func (t *Tape) LogSoftmaxRows(a *Node) *Node {
+	val := a.Value.LogSoftmaxRows()
+	n := &Node{Value: val}
+	n.back = func() {
+		g := a.grad()
+		for i := 0; i < val.Rows; i++ {
+			lp := val.Row(i)
+			dy := n.Grad.Row(i)
+			var sum float64
+			for _, v := range dy {
+				sum += v
+			}
+			gr := g.Row(i)
+			for j, v := range lp {
+				gr[j] += dy[j] - math.Exp(v)*sum
+			}
+		}
+	}
+	return t.record(n)
+}
+
+// --- Shape ops --------------------------------------------------------------
+
+// ConcatCols joins nodes horizontally.
+func (t *Tape) ConcatCols(ns ...*Node) *Node {
+	vals := make([]*tensor.Matrix, len(ns))
+	for i, x := range ns {
+		vals[i] = x.Value
+	}
+	n := &Node{Value: tensor.ConcatCols(vals...)}
+	n.back = func() {
+		off := 0
+		for _, x := range ns {
+			g := x.grad()
+			for i := 0; i < g.Rows; i++ {
+				src := n.Grad.Row(i)[off : off+x.Value.Cols]
+				dst := g.Row(i)
+				for j, v := range src {
+					dst[j] += v
+				}
+			}
+			off += x.Value.Cols
+		}
+	}
+	return t.record(n)
+}
+
+// ConcatRows stacks nodes vertically.
+func (t *Tape) ConcatRows(ns ...*Node) *Node {
+	vals := make([]*tensor.Matrix, len(ns))
+	for i, x := range ns {
+		vals[i] = x.Value
+	}
+	n := &Node{Value: tensor.ConcatRows(vals...)}
+	n.back = func() {
+		off := 0
+		for _, x := range ns {
+			g := x.grad()
+			rows := x.Value.Rows
+			for i := 0; i < rows; i++ {
+				src := n.Grad.Row(off + i)
+				dst := g.Row(i)
+				for j, v := range src {
+					dst[j] += v
+				}
+			}
+			off += rows
+		}
+	}
+	return t.record(n)
+}
+
+// SliceRows takes rows [lo, hi) of a.
+func (t *Tape) SliceRows(a *Node, lo, hi int) *Node {
+	n := &Node{Value: a.Value.SliceRows(lo, hi)}
+	n.back = func() {
+		g := a.grad()
+		for i := lo; i < hi; i++ {
+			src := n.Grad.Row(i - lo)
+			dst := g.Row(i)
+			for j, v := range src {
+				dst[j] += v
+			}
+		}
+	}
+	return t.record(n)
+}
+
+// GatherRows selects the given rows of a (rows may repeat).
+func (t *Tape) GatherRows(a *Node, rows []int) *Node {
+	val := tensor.New(len(rows), a.Value.Cols)
+	for i, r := range rows {
+		copy(val.Row(i), a.Value.Row(r))
+	}
+	n := &Node{Value: val}
+	n.back = func() {
+		g := a.grad()
+		for i, r := range rows {
+			src := n.Grad.Row(i)
+			dst := g.Row(r)
+			for j, v := range src {
+				dst[j] += v
+			}
+		}
+	}
+	return t.record(n)
+}
+
+// Reshape reinterprets a as rows×cols (same element count, row-major order).
+func (t *Tape) Reshape(a *Node, rows, cols int) *Node {
+	if rows*cols != a.Value.Rows*a.Value.Cols {
+		panic(fmt.Sprintf("ag: Reshape %dx%d -> %dx%d changes size", a.Value.Rows, a.Value.Cols, rows, cols))
+	}
+	n := &Node{Value: tensor.FromSlice(rows, cols, a.Value.Data)}
+	n.back = func() {
+		g := a.grad()
+		for i, v := range n.Grad.Data {
+			g.Data[i] += v
+		}
+	}
+	return t.record(n)
+}
+
+// Transpose returns aᵀ.
+func (t *Tape) Transpose(a *Node) *Node {
+	n := &Node{Value: a.Value.Transpose()}
+	n.back = func() { a.grad().AddInPlace(n.Grad.Transpose()) }
+	return t.record(n)
+}
+
+// --- Lookup / dropout -------------------------------------------------------
+
+// Lookup gathers embedding rows ids from table (a Param node): the standard
+// embedding-layer forward, with sparse scatter-add on backward.
+func (t *Tape) Lookup(table *Node, ids []int) *Node {
+	return t.GatherRows(table, ids)
+}
+
+// Dropout zeroes entries with probability p and rescales survivors by
+// 1/(1-p) (inverted dropout). With p<=0 it is the identity.
+func (t *Tape) Dropout(a *Node, p float64, rng *rand.Rand) *Node {
+	if p <= 0 {
+		return a
+	}
+	mask := tensor.New(a.Value.Rows, a.Value.Cols)
+	scale := 1 / (1 - p)
+	for i := range mask.Data {
+		if rng.Float64() >= p {
+			mask.Data[i] = scale
+		}
+	}
+	n := &Node{Value: a.Value.Mul(mask)}
+	n.back = func() { a.grad().AddInPlace(n.Grad.Mul(mask)) }
+	return t.record(n)
+}
+
+// --- Reductions and losses ---------------------------------------------------
+
+// Sum reduces a to a 1×1 scalar.
+func (t *Tape) Sum(a *Node) *Node {
+	n := &Node{Value: tensor.FromSlice(1, 1, []float64{a.Value.Sum()})}
+	n.back = func() {
+		g := a.grad()
+		d := n.Grad.Data[0]
+		for i := range g.Data {
+			g.Data[i] += d
+		}
+	}
+	return t.record(n)
+}
+
+// Mean reduces a to its scalar mean.
+func (t *Tape) Mean(a *Node) *Node {
+	inv := 1 / float64(a.Value.Rows*a.Value.Cols)
+	n := &Node{Value: tensor.FromSlice(1, 1, []float64{a.Value.Sum() * inv})}
+	n.back = func() {
+		g := a.grad()
+		d := n.Grad.Data[0] * inv
+		for i := range g.Data {
+			g.Data[i] += d
+		}
+	}
+	return t.record(n)
+}
+
+// MeanRows averages over rows, returning a 1×cols node.
+func (t *Tape) MeanRows(a *Node) *Node {
+	val := tensor.New(1, a.Value.Cols)
+	for i := 0; i < a.Value.Rows; i++ {
+		row := a.Value.Row(i)
+		for j, v := range row {
+			val.Data[j] += v
+		}
+	}
+	inv := 1 / float64(a.Value.Rows)
+	for j := range val.Data {
+		val.Data[j] *= inv
+	}
+	n := &Node{Value: val}
+	n.back = func() {
+		g := a.grad()
+		for i := 0; i < g.Rows; i++ {
+			dst := g.Row(i)
+			for j := range dst {
+				dst[j] += n.Grad.Data[j] * inv
+			}
+		}
+	}
+	return t.record(n)
+}
+
+// CrossEntropy computes the mean negative log-likelihood of targets under
+// row-wise softmax of logits. Rows of logits with target < 0 are ignored
+// (padding), matching the masked-loss convention used by every model here.
+func (t *Tape) CrossEntropy(logits *Node, targets []int) *Node {
+	if len(targets) != logits.Value.Rows {
+		panic(fmt.Sprintf("ag: CrossEntropy %d targets for %d rows", len(targets), logits.Value.Rows))
+	}
+	logp := logits.Value.LogSoftmaxRows()
+	var loss float64
+	count := 0
+	for i, y := range targets {
+		if y < 0 {
+			continue
+		}
+		loss -= logp.Row(i)[y]
+		count++
+	}
+	if count == 0 {
+		count = 1
+	}
+	inv := 1 / float64(count)
+	n := &Node{Value: tensor.FromSlice(1, 1, []float64{loss * inv})}
+	n.back = func() {
+		d := n.Grad.Data[0] * inv
+		g := logits.grad()
+		for i, y := range targets {
+			if y < 0 {
+				continue
+			}
+			lpRow := logp.Row(i)
+			gRow := g.Row(i)
+			for j := range gRow {
+				p := math.Exp(lpRow[j])
+				if j == y {
+					gRow[j] += d * (p - 1)
+				} else {
+					gRow[j] += d * p
+				}
+			}
+		}
+	}
+	return t.record(n)
+}
+
+// KLDiv computes sum_i p_i * log(p_i / q_i) where p is a fixed target
+// distribution (teacher, rows summing to 1) and q = softmax(logits) row-wise
+// (student). Gradient flows only into logits, the understanding-distillation
+// convention from the paper (Eq. L_UD).
+func (t *Tape) KLDiv(p *tensor.Matrix, logits *Node) *Node {
+	if !p.SameShape(logits.Value) {
+		panic(fmt.Sprintf("ag: KLDiv shape mismatch %dx%d vs %dx%d", p.Rows, p.Cols, logits.Value.Rows, logits.Value.Cols))
+	}
+	logq := logits.Value.LogSoftmaxRows()
+	var loss float64
+	for i, pi := range p.Data {
+		if pi > 0 {
+			loss += pi * (math.Log(pi) - logq.Data[i])
+		}
+	}
+	inv := 1 / float64(p.Rows)
+	n := &Node{Value: tensor.FromSlice(1, 1, []float64{loss * inv})}
+	n.back = func() {
+		d := n.Grad.Data[0] * inv
+		g := logits.grad()
+		for i := 0; i < p.Rows; i++ {
+			pRow := p.Row(i)
+			lqRow := logq.Row(i)
+			gRow := g.Row(i)
+			var rowMass float64
+			for _, v := range pRow {
+				rowMass += v
+			}
+			for j := range gRow {
+				q := math.Exp(lqRow[j])
+				gRow[j] += d * (rowMass*q - pRow[j])
+			}
+		}
+	}
+	return t.record(n)
+}
+
+// L1Loss computes the mean absolute difference between a and a fixed target,
+// the identification-distillation loss from the paper (Eq. L_ID).
+func (t *Tape) L1Loss(a *Node, target *tensor.Matrix) *Node {
+	if !target.SameShape(a.Value) {
+		panic(fmt.Sprintf("ag: L1Loss shape mismatch %dx%d vs %dx%d", a.Value.Rows, a.Value.Cols, target.Rows, target.Cols))
+	}
+	var loss float64
+	for i, v := range a.Value.Data {
+		loss += math.Abs(v - target.Data[i])
+	}
+	inv := 1 / float64(len(a.Value.Data))
+	n := &Node{Value: tensor.FromSlice(1, 1, []float64{loss * inv})}
+	n.back = func() {
+		d := n.Grad.Data[0] * inv
+		g := a.grad()
+		for i, v := range a.Value.Data {
+			switch {
+			case v > target.Data[i]:
+				g.Data[i] += d
+			case v < target.Data[i]:
+				g.Data[i] -= d
+			}
+		}
+	}
+	return t.record(n)
+}
+
+// MSELoss computes the mean squared difference between a and a fixed target.
+func (t *Tape) MSELoss(a *Node, target *tensor.Matrix) *Node {
+	if !target.SameShape(a.Value) {
+		panic("ag: MSELoss shape mismatch")
+	}
+	var loss float64
+	for i, v := range a.Value.Data {
+		d := v - target.Data[i]
+		loss += d * d
+	}
+	inv := 1 / float64(len(a.Value.Data))
+	n := &Node{Value: tensor.FromSlice(1, 1, []float64{loss * inv})}
+	n.back = func() {
+		d := n.Grad.Data[0] * inv * 2
+		g := a.grad()
+		for i, v := range a.Value.Data {
+			g.Data[i] += d * (v - target.Data[i])
+		}
+	}
+	return t.record(n)
+}
+
+// BCELoss computes mean binary cross-entropy of sigmoid(logits) against
+// 0/1 labels; labels < 0 are ignored (padding).
+func (t *Tape) BCELoss(logits *Node, labels []int) *Node {
+	if len(labels) != logits.Value.Rows*logits.Value.Cols {
+		panic(fmt.Sprintf("ag: BCELoss %d labels for %d entries", len(labels), len(logits.Value.Data)))
+	}
+	var loss float64
+	count := 0
+	for i, y := range labels {
+		if y < 0 {
+			continue
+		}
+		x := logits.Value.Data[i]
+		// Numerically stable: max(x,0) - x*y + log(1+exp(-|x|)).
+		loss += math.Max(x, 0) - x*float64(y) + math.Log1p(math.Exp(-math.Abs(x)))
+		count++
+	}
+	if count == 0 {
+		count = 1
+	}
+	inv := 1 / float64(count)
+	n := &Node{Value: tensor.FromSlice(1, 1, []float64{loss * inv})}
+	n.back = func() {
+		d := n.Grad.Data[0] * inv
+		g := logits.grad()
+		for i, y := range labels {
+			if y < 0 {
+				continue
+			}
+			s := 1 / (1 + math.Exp(-logits.Value.Data[i]))
+			g.Data[i] += d * (s - float64(y))
+		}
+	}
+	return t.record(n)
+}
+
+// AddScalars sums scalar nodes, used to combine weighted loss terms.
+func (t *Tape) AddScalars(ns ...*Node) *Node {
+	var total float64
+	for _, x := range ns {
+		if x.Value.Rows != 1 || x.Value.Cols != 1 {
+			panic("ag: AddScalars needs 1x1 nodes")
+		}
+		total += x.Value.Data[0]
+	}
+	n := &Node{Value: tensor.FromSlice(1, 1, []float64{total})}
+	n.back = func() {
+		for _, x := range ns {
+			x.grad().Data[0] += n.Grad.Data[0]
+		}
+	}
+	return t.record(n)
+}

@@ -1,0 +1,186 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"webbrief/internal/ag"
+	"webbrief/internal/corpus"
+	"webbrief/internal/tensor"
+	"webbrief/internal/textproc"
+	"webbrief/internal/wb"
+)
+
+func testData(t testing.TB, domains, pages int) ([]*wb.Instance, *textproc.Vocab) {
+	t.Helper()
+	ds, err := corpus.Generate(corpus.Config{Seed: 1, PagesPerDomain: pages, SeenDomains: domains, UnseenDomains: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := corpus.BuildVocab(ds.Pages)
+	return wb.NewInstances(ds.Pages, v, 0), v
+}
+
+func gloveEnc(v *textproc.Vocab, dim int, seed int64) *wb.GloVeEncoder {
+	rng := rand.New(rand.NewSource(seed))
+	return wb.NewGloVeEncoder(tensor.Randn(v.Size(), dim, 0.1, rng))
+}
+
+func TestSingleExtractorVariants(t *testing.T) {
+	insts, v := testData(t, 2, 1)
+	inst := insts[0]
+	for _, tc := range []struct {
+		name                     string
+		priorSection, priorTopic bool
+	}{
+		{"plain", false, false},
+		{"+prior section", true, false},
+		{"+prior topic", false, true},
+		{"both priors", true, true},
+	} {
+		m := NewSingleExtractor("ext "+tc.name, gloveEnc(v, 12, 1), v.Size(), 8, tc.priorSection, tc.priorTopic, 2)
+		tp := ag.NewTape()
+		out := m.Forward(tp, inst, wb.Train)
+		if out.TagLogits == nil || out.TagLogits.Rows() != inst.NumTokens() || out.TagLogits.Cols() != 3 {
+			t.Fatalf("%s: bad tag logits", tc.name)
+		}
+		if out.TopicLogits != nil || out.Memory != nil {
+			t.Fatalf("%s: extractor must not generate", tc.name)
+		}
+		loss := wb.Loss(tp, out, inst)
+		tp.Backward(loss)
+		for _, p := range m.Params() {
+			if p.Grad.MaxAbs() == 0 {
+				t.Fatalf("%s: no grad to %s", tc.name, p.Name)
+			}
+		}
+	}
+}
+
+func TestSingleGeneratorVariants(t *testing.T) {
+	insts, v := testData(t, 2, 1)
+	inst := insts[0]
+	for _, prior := range []bool{false, true} {
+		m := NewSingleGenerator("gen", gloveEnc(v, 12, 3), v.Size(), 8, prior, 4)
+		tp := ag.NewTape()
+		out := m.Forward(tp, inst, wb.Train)
+		if out.TopicLogits == nil || out.TopicLogits.Rows() != len(inst.TopicIn) {
+			t.Fatalf("prior=%v: bad topic logits", prior)
+		}
+		if out.TagLogits != nil {
+			t.Fatal("generator must not tag")
+		}
+		loss := wb.Loss(tp, out, inst)
+		tp.Backward(loss)
+		for _, p := range m.Params() {
+			if p.Grad.MaxAbs() == 0 {
+				t.Fatalf("prior=%v: no grad to %s", prior, p.Name)
+			}
+		}
+		// Eval mode must expose memory + decoder for beam search.
+		tp2 := ag.NewTape()
+		out2 := m.Forward(tp2, inst, wb.Eval)
+		if out2.Memory == nil || out2.Dec == nil {
+			t.Fatal("generator eval output incomplete")
+		}
+	}
+}
+
+func TestAllJointVariantsForwardAndBackward(t *testing.T) {
+	insts, v := testData(t, 2, 1)
+	inst := insts[0]
+	variants := []Exchange{
+		ExchangeNone, ExchangeConcat, ExchangeAverage,
+		ExchangeAttn, ExchangeAttnBoth, ExchangePipeline,
+	}
+	for _, variant := range variants {
+		m := NewJoint(variant, gloveEnc(v, 12, 5), v.Size(), 8, 6)
+		tp := ag.NewTape()
+		out := m.Forward(tp, inst, wb.Train)
+		if out.TagLogits == nil || out.TopicLogits == nil {
+			t.Fatalf("%s: joint model must produce both heads", m.Name())
+		}
+		if variant == ExchangePipeline && out.SecLogits == nil {
+			t.Fatalf("%s: pipeline must predict sections", m.Name())
+		}
+		if variant != ExchangePipeline && out.SecLogits != nil {
+			t.Fatalf("%s: unexpected section head", m.Name())
+		}
+		loss := wb.Loss(tp, out, inst)
+		tp.Backward(loss)
+		for _, p := range m.Params() {
+			if p.Grad.MaxAbs() == 0 {
+				t.Fatalf("%s: no grad to %s", m.Name(), p.Name)
+			}
+		}
+	}
+}
+
+func TestJointVariantNames(t *testing.T) {
+	want := map[Exchange]string{
+		ExchangeNone:     "Naive-Join",
+		ExchangeConcat:   "Con-Extractor",
+		ExchangeAverage:  "Ave-Extractor",
+		ExchangeAttn:     "Att-Extractor",
+		ExchangeAttnBoth: "Att-Extractor+Att-Generator",
+		ExchangePipeline: "Pip-Extractor+Pip-Generator",
+	}
+	_, v := testData(t, 1, 1)
+	for variant, name := range want {
+		m := NewJoint(variant, gloveEnc(v, 8, 1), v.Size(), 4, 1)
+		if m.Name() != name {
+			t.Errorf("variant %d named %q, want %q", variant, m.Name(), name)
+		}
+	}
+}
+
+// The priors must genuinely change model behaviour: with prior section
+// knowledge the extractor sees the gold section column, so its output on an
+// instance must differ from the plain model's.
+func TestPriorSectionChangesOutput(t *testing.T) {
+	insts, v := testData(t, 1, 1)
+	inst := insts[0]
+	plain := NewSingleExtractor("plain", gloveEnc(v, 12, 7), v.Size(), 8, false, false, 8)
+	prior := NewSingleExtractor("prior", gloveEnc(v, 12, 7), v.Size(), 8, true, false, 8)
+	tp := ag.NewTape()
+	o1 := plain.Forward(tp, inst, wb.Eval)
+	o2 := prior.Forward(tp, inst, wb.Eval)
+	if o1.TagLogits.Value.Equal(o2.TagLogits.Value, 1e-12) {
+		t.Fatal("prior section signal had no effect")
+	}
+}
+
+// Smoke-train Naive-Join and verify both tasks improve above chance.
+func TestNaiveJoinLearns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	insts, v := testData(t, 2, 6)
+	m := NewJoint(ExchangeNone, gloveEnc(v, 16, 9), v.Size(), 16, 10)
+	tc := wb.DefaultTrainConfig()
+	tc.Epochs = 20
+	losses := wb.TrainModel(m, insts, tc)
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("loss not decreasing: %v", losses)
+	}
+	prf := wb.EvaluateExtraction(m, insts)
+	if prf.F1 < 50 {
+		t.Fatalf("extraction F1 %.1f", prf.F1)
+	}
+	em, _ := wb.EvaluateTopics(m, insts, v, 1, 4)
+	if em < 50 {
+		t.Fatalf("topic EM %.1f", em)
+	}
+}
+
+func BenchmarkJointForwardPipeline(b *testing.B) {
+	ds, _ := corpus.Generate(corpus.Config{Seed: 1, PagesPerDomain: 1, SeenDomains: 2, UnseenDomains: 0})
+	v := corpus.BuildVocab(ds.Pages)
+	insts := wb.NewInstances(ds.Pages, v, 0)
+	m := NewJoint(ExchangePipeline, gloveEnc(v, 16, 1), v.Size(), 16, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tp := ag.NewTape()
+		m.Forward(tp, insts[i%len(insts)], wb.Eval)
+	}
+}

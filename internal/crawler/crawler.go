@@ -1,0 +1,215 @@
+// Package crawler reproduces the structure-driven crawler of §IV-A1 [24]:
+// starting from a website's homepage it walks the link structure breadth
+// first, classifies each page structurally, and keeps only the content-rich
+// pages — "indexing webpages and multimedia webpages such as video, music
+// and image pages are not included".
+//
+// The crawler is transport-agnostic: pages come from a Fetcher, which in
+// this offline repository is a map over generated corpus.Site pages, but
+// could equally wrap net/http.
+package crawler
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"webbrief/internal/htmldom"
+	"webbrief/internal/textproc"
+)
+
+// Fetcher retrieves the HTML of a URL.
+type Fetcher interface {
+	Fetch(url string) (html string, err error)
+}
+
+// MapFetcher serves pages from memory; absent URLs return an error, which
+// the crawler records and skips (real sites 404 too).
+type MapFetcher map[string]string
+
+// Fetch implements Fetcher.
+func (m MapFetcher) Fetch(url string) (string, error) {
+	html, ok := m[url]
+	if !ok {
+		return "", fmt.Errorf("crawler: 404 %s", url)
+	}
+	return html, nil
+}
+
+// PageKind classifies a fetched page.
+type PageKind int
+
+// Structural page classes of §IV-A1.
+const (
+	KindContent PageKind = iota // content-rich: kept
+	KindIndex                   // link farm / listing: skipped
+	KindMedia                   // video/audio/image page: skipped
+)
+
+// String names the kind.
+func (k PageKind) String() string {
+	switch k {
+	case KindContent:
+		return "content"
+	case KindIndex:
+		return "index"
+	default:
+		return "media"
+	}
+}
+
+// Config bounds a crawl.
+type Config struct {
+	// MaxPages caps the number of fetched pages (the paper downloads
+	// 1,500–2,000 per site). 0 means unlimited.
+	MaxPages int
+	// MinTextTokens is the minimum visible-token count for a page to be
+	// content-rich.
+	MinTextTokens int
+	// MaxLinkRatio is the maximum links-per-text-token ratio before a page
+	// counts as an index page.
+	MaxLinkRatio float64
+}
+
+// DefaultConfig returns thresholds calibrated for the synthetic sites (and
+// sensible for small real pages).
+func DefaultConfig() Config {
+	return Config{MaxPages: 2000, MinTextTokens: 30, MaxLinkRatio: 0.2}
+}
+
+// CrawledPage is one kept content page.
+type CrawledPage struct {
+	URL  string
+	HTML string
+}
+
+// Result summarises a crawl.
+type Result struct {
+	Content []CrawledPage
+	Index   []string
+	Media   []string
+	Failed  []string
+	Visited int
+}
+
+// Classify determines a page's structural kind. Media pages are detected by
+// embedded player elements or image dominance; index pages by a high
+// link-to-text ratio or very little text; everything else is content-rich.
+func Classify(doc *htmldom.Node, cfg Config) PageKind {
+	// Media: player elements, or more images than text tokens.
+	media := len(doc.FindAll("video")) + len(doc.FindAll("audio")) + len(doc.FindAll("embed"))
+	imgs := len(doc.FindAll("img"))
+	textTokens := 0
+	for _, line := range htmldom.VisibleLines(doc) {
+		textTokens += len(textproc.Normalize(line))
+	}
+	if media > 0 || (imgs > 0 && textTokens < 5*imgs) {
+		return KindMedia
+	}
+	links := len(doc.FindAll("a"))
+	if textTokens < cfg.MinTextTokens {
+		return KindIndex
+	}
+	if float64(links) > cfg.MaxLinkRatio*float64(textTokens) {
+		return KindIndex
+	}
+	return KindContent
+}
+
+// ExtractLinks returns the same-site link targets of a page in document
+// order, de-duplicated. Only site-absolute paths and relative paths are
+// followed; external schemes, anchors and javascript links are ignored.
+func ExtractLinks(doc *htmldom.Node, baseURL string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, a := range doc.FindAll("a") {
+		href, ok := a.Attr("href")
+		if !ok {
+			continue
+		}
+		u := resolveLink(baseURL, href)
+		if u == "" || seen[u] {
+			continue
+		}
+		seen[u] = true
+		out = append(out, u)
+	}
+	return out
+}
+
+// resolveLink resolves href against base, keeping only same-site targets.
+func resolveLink(base, href string) string {
+	href = strings.TrimSpace(href)
+	switch {
+	case href == "" || strings.HasPrefix(href, "#"):
+		return ""
+	case strings.HasPrefix(href, "//"):
+		return "" // protocol-relative external
+	case strings.HasPrefix(href, "/"):
+		return href
+	}
+	// Any scheme prefix (http:, mailto:, javascript:, tel:) before the
+	// first slash marks a non-crawlable target.
+	if i := strings.IndexByte(href, ':'); i >= 0 && !strings.ContainsRune(href[:i], '/') {
+		return ""
+	}
+	// Relative: resolve against the base's directory.
+	dir := base
+	if i := strings.LastIndexByte(dir, '/'); i >= 0 {
+		dir = dir[:i+1]
+	}
+	return dir + href
+}
+
+// Crawl walks the site breadth-first from start, classifying each fetched
+// page and keeping the content-rich ones. It is deterministic: links are
+// followed in document order.
+func Crawl(f Fetcher, start string, cfg Config) (*Result, error) {
+	if start == "" {
+		return nil, errors.New("crawler: empty start URL")
+	}
+	res := &Result{}
+	queue := []string{start}
+	visited := map[string]bool{start: true}
+	for len(queue) > 0 {
+		if cfg.MaxPages > 0 && res.Visited >= cfg.MaxPages {
+			break
+		}
+		url := queue[0]
+		queue = queue[1:]
+		html, err := f.Fetch(url)
+		if err != nil {
+			res.Failed = append(res.Failed, url)
+			continue
+		}
+		res.Visited++
+		doc := htmldom.Parse(html)
+		switch Classify(doc, cfg) {
+		case KindContent:
+			res.Content = append(res.Content, CrawledPage{URL: url, HTML: html})
+		case KindIndex:
+			res.Index = append(res.Index, url)
+		case KindMedia:
+			res.Media = append(res.Media, url)
+		}
+		for _, link := range ExtractLinks(doc, url) {
+			if !visited[link] {
+				visited[link] = true
+				queue = append(queue, link)
+			}
+		}
+	}
+	return res, nil
+}
+
+// ContentURLs returns the kept content URLs sorted, for set comparison in
+// tests and pipelines.
+func (r *Result) ContentURLs() []string {
+	out := make([]string, len(r.Content))
+	for i, p := range r.Content {
+		out[i] = p.URL
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,55 @@
+package eval_test
+
+import (
+	"fmt"
+
+	"webbrief/internal/eval"
+)
+
+// ExampleSpanPRF1 scores predicted attribute spans against gold spans with
+// the strict exact-boundary criterion of §IV-A4.
+func ExampleSpanPRF1() {
+	pred := [][]eval.Span{{{Start: 0, End: 2}, {Start: 5, End: 7}}}
+	gold := [][]eval.Span{{{Start: 0, End: 2}, {Start: 5, End: 8}}} // second is off by one
+	r := eval.SpanPRF1(pred, gold)
+	fmt.Printf("P %.1f R %.1f F1 %.1f\n", r.Precision, r.Recall, r.F1)
+	// Output:
+	// P 50.0 R 50.0 F1 50.0
+}
+
+// ExampleTopicScores shows exact match vs relaxed match for generated
+// topics.
+func ExampleTopicScores() {
+	gen := [][]string{
+		{"book", "shopping", "website"}, // exact
+		{"book", "review", "website"},   // partial overlap
+		{"cooking", "blog"},             // no overlap with gold below
+	}
+	gold := [][]string{
+		{"book", "shopping", "website"},
+		{"book", "shopping", "website"},
+		{"job", "recruitment", "website"},
+	}
+	em, rm := eval.TopicScores(gen, gold)
+	fmt.Printf("EM %.1f RM %.1f\n", em, rm)
+	// Output:
+	// EM 33.3 RM 66.7
+}
+
+// ExampleSpansFromBIO decodes BIO tag sequences into spans.
+func ExampleSpansFromBIO() {
+	// O B I O B O
+	fmt.Println(eval.SpansFromBIO([]int{0, 1, 2, 0, 1, 0}))
+	// Output:
+	// [{1 3} {4 5}]
+}
+
+// ExampleMcNemar runs the paper's significance test on paired outcomes.
+func ExampleMcNemar() {
+	a := []bool{true, true, true, true, true, true, true, true, false, false}
+	b := []bool{false, false, false, false, false, false, true, true, false, true}
+	chi2, sig := eval.McNemar(a, b)
+	fmt.Printf("chi2 %.2f significant %v\n", chi2, sig)
+	// Output:
+	// chi2 2.29 significant false
+}

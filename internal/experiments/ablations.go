@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"webbrief/internal/baselines"
+	"webbrief/internal/distill"
+	"webbrief/internal/wb"
+)
+
+// AblationData collects the three design-choice studies DESIGN.md calls
+// out: the Markov dependency in the section predictor, the soft-loss weight
+// calibration of the understanding distillation, and the beam width at
+// inference.
+type AblationData struct {
+	// Section predictor: accuracy with the Markov dependency vs the
+	// independent per-sentence logistic.
+	MarkovSectionAcc, IndepSectionAcc float64
+	// Understanding-distillation soft weight → unseen-domain topic EM.
+	SoftWeightEM map[float64]float64
+	// Beam width → seen-domain topic EM for the teacher.
+	BeamEM map[int]float64
+}
+
+// Ablations runs the design-choice studies and renders them as one table.
+func (s *Setup) Ablations() (*Table, AblationData) {
+	data := AblationData{
+		SoftWeightEM: map[float64]float64{},
+		BeamEM:       map[int]float64{},
+	}
+
+	// 1. Markov dependency vs independent section scoring: train a fresh
+	// Joint-WB each way on the same data and compare section accuracy.
+	markov := s.NewJointWB()
+	wb.TrainModel(markov, s.SeenTrain, s.TrainCfg(s.Opt.TeacherEpochs))
+	data.MarkovSectionAcc = wb.EvaluateSections(markov, s.SeenTest)
+
+	indep := s.NewJointWB()
+	indep.Sec.NoMarkov = true
+	wb.TrainModel(indep, s.SeenTrain, s.TrainCfg(s.Opt.TeacherEpochs))
+	data.IndepSectionAcc = wb.EvaluateSections(indep, s.SeenTest)
+
+	// 2. Soft-weight calibration: Dual-Distill a topic student at several
+	// understanding-distillation weights. High weights let a confidently
+	// wrong teacher dominate on unseen domains (see distill.Config).
+	teacher := s.Teacher()
+	for _, w := range []float64{0.15, 0.5, 1.0} {
+		cfg := s.distillCfg(true, true)
+		cfg.SoftWeight = w
+		student := baselines.NewSingleGenerator("ablate-gen", s.NewEncoder(EncGloVe), s.Vocab.Size(), s.Opt.Hidden, false, s.nextSeed())
+		d := distill.New(teacher, student, distill.TaskTopic, teacher.Enc, s.SeenTopicIDs(), cfg)
+		d.Train(s.AllTrain, s.TrainCfg(s.Opt.DistillEpochs))
+		em, _ := wb.EvaluateTopics(student, s.UnseenTest, s.Vocab, s.Opt.BeamWidth, s.Opt.TopicLen)
+		data.SoftWeightEM[w] = em
+	}
+
+	// 3. Beam width (the paper uses width 200; here the interesting range
+	// is 1..8 given the scaled vocabulary).
+	for _, width := range []int{1, 2, 4, 8} {
+		em, _ := wb.EvaluateTopics(teacher, s.SeenTest, s.Vocab, width, s.Opt.TopicLen)
+		data.BeamEM[width] = em
+	}
+
+	tab := &Table{
+		ID:      "ablation",
+		Caption: "Design-choice ablations: Markov dependency (section accuracy), UD soft weight (unseen EM), beam width (seen EM)",
+		Header:  []string{"Study", "Setting", "Score"},
+	}
+	tab.Add("section predictor", "Markov dependency", pct(data.MarkovSectionAcc))
+	tab.Add("section predictor", "independent logistic", pct(data.IndepSectionAcc))
+	for _, w := range []float64{0.15, 0.5, 1.0} {
+		tab.Add("UD soft weight", fmt.Sprintf("%.2f", w), pct(data.SoftWeightEM[w]))
+	}
+	for _, width := range []int{1, 2, 4, 8} {
+		tab.Add("beam width", fmt.Sprintf("%d", width), pct(data.BeamEM[width]))
+	}
+	return tab, data
+}

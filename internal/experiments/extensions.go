@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"webbrief/internal/corpus"
+	"webbrief/internal/hier"
+	"webbrief/internal/tensor"
+	"webbrief/internal/wb"
+)
+
+// NamesData holds the attribute-name prediction results (§V future work).
+type NamesData struct {
+	SeenAccuracy   float64
+	UnseenAccuracy float64
+}
+
+// AttrNames runs the attribute-name prediction extension: a namer head is
+// fitted on the Joint-WB teacher's token representations over the
+// seen-domain training split, then scored on seen and unseen test pages.
+func (s *Setup) AttrNames() (*Table, NamesData) {
+	teacher := s.Teacher()
+	namer := wb.NewAttrNamer("namer", wb.AttributeLabels(), 2*s.Opt.Hidden, s.Vocab.Size(),
+		rand.New(rand.NewSource(s.Opt.Seed+401)))
+	tc := s.TrainCfg(s.Opt.BaselineEpochs)
+	tc.LR = 1e-2
+	wb.TrainNamer(namer, teacher, s.SeenTrain, tc)
+	data := NamesData{
+		SeenAccuracy:   wb.EvaluateNamer(namer, teacher, s.SeenTest),
+		UnseenAccuracy: wb.EvaluateNamer(namer, teacher, s.UnseenTest),
+	}
+	tab := &Table{
+		ID:      "names",
+		Caption: "Extension (§V future work): attribute-name prediction accuracy over gold spans",
+		Header:  []string{"Split", "Name accuracy"},
+	}
+	tab.Add("Seen domains", pct(data.SeenAccuracy))
+	tab.Add("Unseen domains", pct(data.UnseenAccuracy))
+	return tab, data
+}
+
+// HierData holds the multi-level extraction results: span F1 per hierarchy
+// level, for the signal-combining extractor and the independent-heads
+// ablation.
+type HierData struct {
+	CombinedL1, CombinedL2       float64
+	IndependentL1, IndependentL2 float64
+}
+
+// Hierarchy runs the multi-level extension (§III-C sketch): pages carry a
+// level-1 category attribute above the level-2 detail attributes; a
+// two-head extractor tags both, with and without cross-level signal
+// combination (the ablation DESIGN.md calls out).
+func (s *Setup) Hierarchy() (*Table, HierData) {
+	nDomains := s.Opt.SeenDomains
+	pages := hier.GenerateHierPages(nDomains, s.Opt.PagesPerDomain, s.Opt.Seed+402)
+	v := corpus.BuildVocab(pages)
+	train, _, test := corpus.Split(pages, s.Opt.Seed+403)
+	trainInsts := hier.NewInstances(train, v)
+	testInsts := hier.NewInstances(test, v)
+	tc := s.TrainCfg(s.Opt.BaselineEpochs)
+
+	var data HierData
+	for _, combine := range []bool{true, false} {
+		enc := wb.NewGloVeEncoder(randEmb(v.Size(), s.Opt.EmbDim, s.Opt.Seed+404))
+		m := hier.NewMultiLevel("ml", enc, s.Opt.Hidden, combine, s.Opt.Seed+405)
+		m.Train(trainInsts, tc)
+		l1, l2 := m.Evaluate(testInsts)
+		if combine {
+			data.CombinedL1, data.CombinedL2 = l1.F1, l2.F1
+		} else {
+			data.IndependentL1, data.IndependentL2 = l1.F1, l2.F1
+		}
+	}
+
+	tab := &Table{
+		ID:      "hier",
+		Caption: "Extension (§III-C sketch): multi-level attribute extraction, span F1 per level (held-out pages)",
+		Header:  []string{"Extractor", "Level-1 (category) F1", "Level-2 (detail) F1"},
+	}
+	tab.Add("Two heads + combined signal", pct(data.CombinedL1), pct(data.CombinedL2))
+	tab.Add("Two independent heads (ablation)", pct(data.IndependentL1), pct(data.IndependentL2))
+	return tab, data
+}
+
+// randEmb builds a deterministic random embedding matrix for extension
+// vocabularies (the hier corpus has its own vocab, so the shared GloVe
+// vectors do not apply).
+func randEmb(vocab, dim int, seed int64) *tensor.Matrix {
+	return tensor.Randn(vocab, dim, 0.1, rand.New(rand.NewSource(seed)))
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+)
+
+// AllIDs lists the runnable experiment ids in paper order.
+func AllIDs() []string {
+	return []string{"4", "5", "6", "7", "8", "9", "10", "quality", "sensitivity", "names", "hier", "ablation"}
+}
+
+// Run dispatches an experiment by id ("4".."10", "quality",
+// "sensitivity") and returns its rendered table.
+func (s *Setup) Run(id string) (*Table, error) {
+	switch id {
+	case "4":
+		t, _ := s.Table4()
+		return t, nil
+	case "5":
+		t, _ := s.Table5()
+		return t, nil
+	case "6":
+		t, _ := s.Table6()
+		return t, nil
+	case "7":
+		t, _ := s.Table7()
+		return t, nil
+	case "8":
+		t, _ := s.Table8()
+		return t, nil
+	case "9":
+		t, _ := s.Table9()
+		return t, nil
+	case "10":
+		t, _ := s.Table10()
+		return t, nil
+	case "quality":
+		t, _ := s.DatasetQuality()
+		return t, nil
+	case "sensitivity":
+		t, _ := s.Sensitivity()
+		return t, nil
+	case "names":
+		t, _ := s.AttrNames()
+		return t, nil
+	case "hier":
+		t, _ := s.Hierarchy()
+		return t, nil
+	case "ablation":
+		t, _ := s.Ablations()
+		return t, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, AllIDs())
+}

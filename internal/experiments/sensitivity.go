@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"webbrief/internal/corpus"
+	"webbrief/internal/eval"
+	"webbrief/internal/wb"
+)
+
+// SensitivityRow reports, for one proportion split and one model, the
+// fraction of synthetic two-topic pages whose predicted topic follows the
+// first page (position) versus the page contributing more content (length).
+type SensitivityRow struct {
+	Model          string
+	Proportion     string  // e.g. "70-30"
+	FollowsFirst   float64 // % predictions matching page A's topic
+	FollowsSecond  float64 // % matching page B's topic
+	FollowsLarger  float64 // % matching whichever page contributed more
+	FollowsNeither float64
+}
+
+// Sensitivity reproduces the content-sensitivity study of §IV-D: 300
+// synthetic pages built by concatenating two real pages with different
+// topics at 50-50, 70-30 and 30-70 content proportions. The paper observes
+// Joint-WB predicting from the content that appears FIRST while the
+// distilled students follow the LARGER portion.
+func (s *Setup) Sensitivity() (*Table, []SensitivityRow) {
+	jwb := s.Teacher()
+	dual := s.DistilledGenerator("t4/Dual-Distill", jwb, jwb.Enc, true, true)
+	tri := s.TriDistilled("t5/Joint-WB", jwb, jwb.Enc)
+	models := []wb.Model{jwb, dual, tri}
+	labels := []string{"Joint-WB (no distill)", "Dual-Distill", "Tri-Distill"}
+
+	// Build page pairs from different seen domains.
+	rng := rand.New(rand.NewSource(s.Opt.Seed + 777))
+	pool := s.DS.PagesOf(s.DS.IsSeen)
+	nPairs := 100
+	if s.Opt.Scale == ScaleSmoke {
+		nPairs = 6
+	}
+	type pagePair struct{ a, b *corpus.Page }
+	var pairs []pagePair
+	for len(pairs) < nPairs {
+		a := pool[rng.Intn(len(pool))]
+		b := pool[rng.Intn(len(pool))]
+		if a.Domain != b.Domain {
+			pairs = append(pairs, pagePair{a, b})
+		}
+	}
+
+	props := []struct {
+		name string
+		p    float64
+	}{{"50-50", 0.5}, {"70-30", 0.7}, {"30-70", 0.3}}
+
+	var rows []SensitivityRow
+	tab := &Table{
+		ID:      "sensitivity",
+		Caption: "Content sensitivity on synthetic two-topic pages (§IV-D): which source the predicted topic follows (%)",
+		Header:  []string{"Model", "Mix", "First", "Second", "Larger", "Neither"},
+	}
+	for mi, m := range models {
+		for _, pr := range props {
+			var first, second, larger, neither int
+			for _, pair := range pairs {
+				syn := corpus.ConcatPages(pair.a, pair.b, pr.p)
+				inst := wb.NewInstance(syn, s.Vocab, 0)
+				gen := s.Vocab.Tokens(wb.GenerateTopic(m, inst, s.Opt.BeamWidth, s.Opt.TopicLen))
+				matchA := eval.ExactMatch(gen, pair.a.Topic)
+				matchB := eval.ExactMatch(gen, pair.b.Topic)
+				switch {
+				case matchA && pr.p >= 0.5, matchB && pr.p < 0.5:
+					larger++
+				}
+				switch {
+				case matchA:
+					first++
+				case matchB:
+					second++
+				default:
+					neither++
+				}
+			}
+			n := float64(len(pairs))
+			row := SensitivityRow{
+				Model:          labels[mi],
+				Proportion:     pr.name,
+				FollowsFirst:   100 * float64(first) / n,
+				FollowsSecond:  100 * float64(second) / n,
+				FollowsLarger:  100 * float64(larger) / n,
+				FollowsNeither: 100 * float64(neither) / n,
+			}
+			rows = append(rows, row)
+			tab.Add(row.Model, row.Proportion, pct(row.FollowsFirst), pct(row.FollowsSecond), pct(row.FollowsLarger), pct(row.FollowsNeither))
+		}
+	}
+	return tab, rows
+}

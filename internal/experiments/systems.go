@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"webbrief/internal/baselines"
+	"webbrief/internal/distill"
+	"webbrief/internal/wb"
+)
+
+// cached returns the named trained system, building and training it on
+// first use. Tables share systems through this registry (e.g. Table X's
+// human evaluation reuses generators trained for Table VII).
+func (s *Setup) cached(name string, build func() wb.Model) wb.Model {
+	if s.cache == nil {
+		s.cache = map[string]wb.Model{}
+	}
+	if m, ok := s.cache[name]; ok {
+		return m
+	}
+	m := build()
+	s.cache[name] = m
+	return m
+}
+
+// Teacher returns the Joint-WB teacher pre-trained on the seen domains —
+// the central system reused by Tables IV, V, VI, VII, VIII, IX and the
+// sensitivity study.
+func (s *Setup) Teacher() *wb.JointWB {
+	return s.cached("teacher/Joint-WB", func() wb.Model {
+		m := s.NewJointWB()
+		wb.TrainModel(m, s.SeenTrain, s.TrainCfg(s.Opt.TeacherEpochs))
+		return m
+	}).(*wb.JointWB)
+}
+
+// SingleExtractorOn returns a trained *→Bi-LSTM extractor.
+func (s *Setup) SingleExtractorOn(kind EncKind, priorSection, priorTopic bool) wb.Model {
+	name := kind.String() + "→Bi-LSTM"
+	if priorSection {
+		name += " + prior section"
+	}
+	if priorTopic {
+		name += " + prior topic"
+	}
+	return s.cached("ext/"+name, func() wb.Model {
+		m := baselines.NewSingleExtractor(name, s.NewEncoder(kind), s.Vocab.Size(), s.Opt.Hidden, priorSection, priorTopic, s.nextSeed())
+		wb.TrainModel(m, s.SeenTrain, s.TrainCfg(s.Opt.BaselineEpochs))
+		return m
+	})
+}
+
+// SingleGeneratorOn returns a trained *→[Bi-LSTM, LSTM] generator.
+func (s *Setup) SingleGeneratorOn(kind EncKind, priorSection bool) wb.Model {
+	name := kind.String() + "→[Bi-LSTM, LSTM]"
+	if priorSection {
+		name += " + prior section"
+	}
+	return s.cached("gen/"+name, func() wb.Model {
+		m := baselines.NewSingleGenerator(name, s.NewEncoder(kind), s.Vocab.Size(), s.Opt.Hidden, priorSection, s.nextSeed())
+		wb.TrainModel(m, s.SeenTrain, s.TrainCfg(s.Opt.BaselineEpochs))
+		return m
+	})
+}
+
+// JointBaseline returns a trained joint baseline of the given variant over
+// kind-encoders.
+func (s *Setup) JointBaseline(variant baselines.Exchange, kind EncKind) wb.Model {
+	probe := baselines.NewJoint(variant, s.NewEncoder(EncGloVe), s.Vocab.Size(), 2, 0)
+	name := probe.Name()
+	return s.cached("joint/"+name+"/"+kind.String(), func() wb.Model {
+		m := baselines.NewJoint(variant, s.NewEncoder(kind), s.Vocab.Size(), s.Opt.Hidden, s.nextSeed())
+		wb.TrainModel(m, s.SeenTrain, s.TrainCfg(s.Opt.BaselineEpochs))
+		return m
+	})
+}
+
+// distillCfg returns the paper's distillation hyperparameters with the
+// ablation switches applied.
+func (s *Setup) distillCfg(useID, useUD bool) distill.Config {
+	cfg := distill.DefaultConfig()
+	cfg.UseID = useID
+	cfg.UseUD = useUD
+	cfg.RepDim = s.Opt.Hidden
+	cfg.Seed = s.Opt.Seed
+	return cfg
+}
+
+// DistilledGenerator Dual-Distills a fresh GloVe topic student from teacher
+// and returns it. The cache key includes the ablation switches.
+func (s *Setup) DistilledGenerator(cacheKey string, teacher wb.Model, teacherEnc wb.DocEncoder, useID, useUD bool) wb.Model {
+	return s.cached("distill/gen/"+cacheKey, func() wb.Model {
+		student := baselines.NewSingleGenerator("student-gen", s.NewEncoder(EncGloVe), s.Vocab.Size(), s.Opt.Hidden, false, s.nextSeed())
+		d := distill.New(teacher, student, distill.TaskTopic, teacherEnc, s.SeenTopicIDs(), s.distillCfg(useID, useUD))
+		d.Train(s.AllTrain, s.TrainCfg(s.Opt.DistillEpochs))
+		return student
+	})
+}
+
+// DistilledExtractor Dual-Distills a fresh GloVe attribute student.
+func (s *Setup) DistilledExtractor(cacheKey string, teacher wb.Model, teacherEnc wb.DocEncoder, useID, useUD bool) wb.Model {
+	return s.cached("distill/ext/"+cacheKey, func() wb.Model {
+		student := baselines.NewSingleExtractor("student-ext", s.NewEncoder(EncGloVe), s.Vocab.Size(), s.Opt.Hidden, false, false, s.nextSeed())
+		d := distill.New(teacher, student, distill.TaskAttr, teacherEnc, s.SeenTopicIDs(), s.distillCfg(useID, useUD))
+		d.Train(s.AllTrain, s.TrainCfg(s.Opt.DistillEpochs))
+		return student
+	})
+}
+
+// TriDistilled jointly distills a Naive-Join student from a joint teacher
+// (Tri-Distill, §III-B).
+func (s *Setup) TriDistilled(cacheKey string, teacher wb.Model, teacherEnc wb.DocEncoder) wb.Model {
+	return s.cached("distill/tri/"+cacheKey, func() wb.Model {
+		student := baselines.NewJoint(baselines.ExchangeNone, s.NewEncoder(EncGloVe), s.Vocab.Size(), s.Opt.Hidden, s.nextSeed())
+		student.ModelName = "Tri-Distill student"
+		d := distill.New(teacher, student, distill.TaskJoint, teacherEnc, s.SeenTopicIDs(), s.distillCfg(true, true))
+		d.Train(s.AllTrain, s.TrainCfg(s.Opt.DistillEpochs))
+		return student
+	})
+}
+
+// PipDistilled runs Pip-Distill (§IV-A7): a Dual-Distilled topic student
+// (distilled from topicTeacher) feeds its generated topic to a prior-topic
+// attribute student distilled from attrTeacher. It returns the attribute
+// student and the eval-time instance transformer that injects the
+// pipeline's predicted topics.
+func (s *Setup) PipDistilled(cacheKey string, topicTeacher wb.Model, topicEnc wb.DocEncoder, attrTeacher wb.Model, attrEnc wb.DocEncoder) (wb.Model, func([]*wb.Instance) []*wb.Instance) {
+	topicStudent := s.DistilledGenerator(cacheKey+"/pip-topic", topicTeacher, topicEnc, true, true)
+	attr := s.cached("distill/pip/"+cacheKey, func() wb.Model {
+		student := baselines.NewSingleExtractor("pip-student-ext", s.NewEncoder(EncGloVe), s.Vocab.Size(), s.Opt.Hidden, false, true, s.nextSeed())
+		d := distill.New(attrTeacher, student, distill.TaskAttr, attrEnc, s.SeenTopicIDs(), s.distillCfg(true, true))
+		piped := distill.WithPredictedTopics(s.AllTrain, topicStudent, s.Opt.BeamWidth, s.Opt.TopicLen)
+		d.Train(piped, s.TrainCfg(s.Opt.DistillEpochs))
+		return student
+	})
+	evalWith := func(insts []*wb.Instance) []*wb.Instance {
+		return distill.WithPredictedTopics(insts, topicStudent, s.Opt.BeamWidth, s.Opt.TopicLen)
+	}
+	return attr, evalWith
+}

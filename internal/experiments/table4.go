@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"webbrief/internal/wb"
+)
+
+// Table4Row holds one distillation variant's topic-generation scores.
+type Table4Row struct {
+	Method                                           string
+	UnseenEM, UnseenRM, SeenEM, SeenRM, AllEM, AllRM float64
+}
+
+// Table4 regenerates Table IV: comparison with different distillation
+// methods for topic generation on previously unseen, seen, and all domains.
+// The teacher is Joint-WB pre-trained on seen domains; each student is
+// distilled on pages covering all r+k topics.
+func (s *Setup) Table4() (*Table, []Table4Row) {
+	teacher := s.Teacher()
+	type variant struct {
+		name         string
+		useID, useUD bool
+	}
+	variants := []variant{
+		{"ID only", true, false},
+		{"UD only", false, true},
+		{"Dual-Distill", true, true},
+	}
+
+	allTest := append(append([]*wb.Instance{}, s.UnseenTest...), s.SeenTest...)
+	score := func(m wb.Model) (row [6]float64) {
+		row[0], row[1] = wb.EvaluateTopics(m, s.UnseenTest, s.Vocab, s.Opt.BeamWidth, s.Opt.TopicLen)
+		row[2], row[3] = wb.EvaluateTopics(m, s.SeenTest, s.Vocab, s.Opt.BeamWidth, s.Opt.TopicLen)
+		row[4], row[5] = wb.EvaluateTopics(m, allTest, s.Vocab, s.Opt.BeamWidth, s.Opt.TopicLen)
+		return row
+	}
+
+	var rows []Table4Row
+	add := func(name string, v [6]float64) {
+		rows = append(rows, Table4Row{name, v[0], v[1], v[2], v[3], v[4], v[5]})
+	}
+	add("No Distill", score(teacher))
+	for _, va := range variants {
+		student := s.DistilledGenerator("t4/"+va.name, teacher, teacher.Enc, va.useID, va.useUD)
+		add(va.name, score(student))
+	}
+
+	tab := &Table{
+		ID:      "IV",
+		Caption: "Comparison with different distillation methods for topic generation (teacher: Joint-WB)",
+		Header:  []string{"Methods", "Unseen EM", "Unseen RM", "Seen EM", "Seen RM", "All EM", "All RM"},
+	}
+	for _, r := range rows {
+		tab.Add(r.Method, pct(r.UnseenEM), pct(r.UnseenRM), pct(r.SeenEM), pct(r.SeenRM), pct(r.AllEM), pct(r.AllRM))
+	}
+	return tab, rows
+}

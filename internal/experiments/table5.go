@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"webbrief/internal/baselines"
+	"webbrief/internal/wb"
+)
+
+// Table5Cell is one (teacher, method) result on previously unseen domains.
+type Table5Cell struct {
+	TopicEM float64
+	AttrF1  float64
+	Valid   bool // false where the combination is not defined (e.g. Tri-Distill on a single-task teacher)
+}
+
+// Table5Data maps teacher name → method name → scores.
+type Table5Data map[string]map[string]Table5Cell
+
+// teacherPair bundles what a distillation column needs: models providing
+// topic and attribute supervision plus the encoder carrying the stored
+// topic knowledge.
+type teacherPair struct {
+	name       string
+	topicModel wb.Model
+	attrModel  wb.Model
+	topicEnc   wb.DocEncoder
+	attrEnc    wb.DocEncoder
+	joint      bool
+}
+
+// Table5 regenerates Table V: Dual-Distill / Pip-Distill / Tri-Distill
+// applied to different teacher models, evaluated on previously unseen
+// domains (topic EM and attribute F1).
+func (s *Setup) Table5() (*Table, Table5Data) {
+	// Teacher column 1: BERT-Single — two single-task BERTSUM models.
+	singleGen := s.SingleGeneratorOn(EncBERTSUM, false)
+	singleExt := s.SingleExtractorOn(EncBERTSUM, false, false)
+	// Teacher column 2: Naive-Join over BERTSUM.
+	naive := s.JointBaseline(baselines.ExchangeNone, EncBERTSUM)
+	// Teacher column 3: Joint-WB.
+	jwb := s.Teacher()
+
+	teachers := []teacherPair{
+		{
+			name:       "BERT-Single",
+			topicModel: singleGen, attrModel: singleExt,
+			topicEnc: singleGen.(*baselines.SingleGenerator).Enc,
+			attrEnc:  singleExt.(*baselines.SingleExtractor).Enc,
+		},
+		{
+			name:       "Naive-Join",
+			topicModel: naive, attrModel: naive,
+			topicEnc: naive.(*baselines.Joint).Enc, attrEnc: naive.(*baselines.Joint).Enc,
+			joint: true,
+		},
+		{
+			name:       "Joint-WB",
+			topicModel: jwb, attrModel: jwb,
+			topicEnc: jwb.Enc, attrEnc: jwb.Enc,
+			joint: true,
+		},
+	}
+
+	data := Table5Data{}
+	methods := []string{"No Distill", "Dual-Distill", "Pip-Distill", "Tri-Distill"}
+	for _, tp := range teachers {
+		col := map[string]Table5Cell{}
+		em := func(m wb.Model) float64 {
+			e, _ := wb.EvaluateTopics(m, s.UnseenTest, s.Vocab, s.Opt.BeamWidth, s.Opt.TopicLen)
+			return e
+		}
+		f1 := func(m wb.Model, insts []*wb.Instance) float64 {
+			return wb.EvaluateExtraction(m, insts).F1
+		}
+		// No Distill: the teacher applied directly.
+		col["No Distill"] = Table5Cell{TopicEM: em(tp.topicModel), AttrF1: f1(tp.attrModel, s.UnseenTest), Valid: true}
+		// Dual-Distill: separate topic and attribute students.
+		dGen := s.DistilledGenerator("t5/"+tp.name, tp.topicModel, tp.topicEnc, true, true)
+		dExt := s.DistilledExtractor("t5/"+tp.name, tp.attrModel, tp.attrEnc, true, true)
+		col["Dual-Distill"] = Table5Cell{TopicEM: em(dGen), AttrF1: f1(dExt, s.UnseenTest), Valid: true}
+		// Pip-Distill: attribute extraction conditioned on the first
+		// student's generated topic; the topic EM column repeats the
+		// pipeline's first stage.
+		pipExt, evalWith := s.PipDistilled("t5/"+tp.name, tp.topicModel, tp.topicEnc, tp.attrModel, tp.attrEnc)
+		pipTopic := s.DistilledGenerator("t5/"+tp.name+"/pip-topic", tp.topicModel, tp.topicEnc, true, true)
+		col["Pip-Distill"] = Table5Cell{TopicEM: em(pipTopic), AttrF1: f1(pipExt, evalWith(s.UnseenTest)), Valid: true}
+		// Tri-Distill: only defined for joint teachers.
+		if tp.joint {
+			tri := s.TriDistilled("t5/"+tp.name, tp.topicModel, tp.topicEnc)
+			col["Tri-Distill"] = Table5Cell{TopicEM: em(tri), AttrF1: f1(tri, s.UnseenTest), Valid: true}
+		}
+		data[tp.name] = col
+	}
+
+	tab := &Table{
+		ID:      "V",
+		Caption: "Distillation methods with different teacher models on previously unseen domains",
+		Header:  []string{"Methods", "BERT-Single EM", "BERT-Single F1", "Naive-Join EM", "Naive-Join F1", "Joint-WB EM", "Joint-WB F1"},
+	}
+	for _, method := range methods {
+		row := []string{method}
+		for _, tname := range []string{"BERT-Single", "Naive-Join", "Joint-WB"} {
+			cell, ok := data[tname][method]
+			if !ok || !cell.Valid {
+				row = append(row, "-", "-")
+				continue
+			}
+			row = append(row, pct(cell.TopicEM), pct(cell.AttrF1))
+		}
+		tab.Add(row...)
+	}
+	return tab, data
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"webbrief/internal/baselines"
+	"webbrief/internal/eval"
+	"webbrief/internal/wb"
+)
+
+// sigMark returns the paper's significance annotation: "*" when Joint-WB's
+// improvement over the baseline is significant under McNemar's test at
+// p < 0.05 (§IV-A4), "" otherwise.
+func sigMark(baselineCorrect, jwbCorrect []bool) string {
+	if _, significant := eval.McNemar(jwbCorrect, baselineCorrect); significant {
+		return "*"
+	}
+	return ""
+}
+
+// PRF1Row is one attribute-extraction result row. Sig is "*" when Joint-WB
+// beats this system significantly under McNemar's test (empty on the
+// Joint-WB row itself).
+type PRF1Row struct {
+	System string
+	Scores eval.PRF1
+	Sig    string
+}
+
+// EMRMRow is one topic-generation result row; Sig as in PRF1Row.
+type EMRMRow struct {
+	System string
+	EM, RM float64
+	Sig    string
+}
+
+// Table6 regenerates Table VI: single-task baselines vs Joint-WB for key
+// attribute extraction on previously seen domains (P/R/F1).
+func (s *Setup) Table6() (*Table, []PRF1Row) {
+	systems := []wb.Model{
+		s.SingleExtractorOn(EncGloVe, false, false),
+		s.SingleExtractorOn(EncBERT, false, false),
+		s.SingleExtractorOn(EncBERTSUM, false, false),
+		s.SingleExtractorOn(EncBERTSUM, true, false),
+		s.SingleExtractorOn(EncBERTSUM, false, true),
+		s.Teacher(),
+	}
+	jwbCorrect := wb.ExtractionCorrect(s.Teacher(), s.SeenTest)
+	var rows []PRF1Row
+	for _, m := range systems {
+		row := PRF1Row{System: m.Name(), Scores: wb.EvaluateExtraction(m, s.SeenTest)}
+		if m != wb.Model(s.Teacher()) {
+			row.Sig = sigMark(wb.ExtractionCorrect(m, s.SeenTest), jwbCorrect)
+		}
+		rows = append(rows, row)
+	}
+	tab := &Table{
+		ID:      "VI",
+		Caption: "Single-task baselines vs Joint-WB for key attribute extraction (seen domains; * = Joint-WB improvement significant, McNemar p<0.05)",
+		Header:  []string{"Methods", "P", "R", "F1"},
+	}
+	for _, r := range rows {
+		tab.Add(r.System+r.Sig, pct(r.Scores.Precision), pct(r.Scores.Recall), pct(r.Scores.F1))
+	}
+	return tab, rows
+}
+
+// Table7 regenerates Table VII: single-task baselines vs Joint-WB for topic
+// generation on previously seen domains (EM/RM).
+func (s *Setup) Table7() (*Table, []EMRMRow) {
+	systems := []wb.Model{
+		s.SingleGeneratorOn(EncGloVe, false),
+		s.SingleGeneratorOn(EncBERT, false),
+		s.SingleGeneratorOn(EncBERTSUM, false),
+		s.SingleGeneratorOn(EncBERTSUM, true),
+		s.Teacher(),
+	}
+	jwbCorrect := wb.TopicCorrect(s.Teacher(), s.SeenTest, s.Vocab, s.Opt.BeamWidth, s.Opt.TopicLen)
+	var rows []EMRMRow
+	for _, m := range systems {
+		em, rm := wb.EvaluateTopics(m, s.SeenTest, s.Vocab, s.Opt.BeamWidth, s.Opt.TopicLen)
+		row := EMRMRow{System: m.Name(), EM: em, RM: rm}
+		if m != wb.Model(s.Teacher()) {
+			row.Sig = sigMark(wb.TopicCorrect(m, s.SeenTest, s.Vocab, s.Opt.BeamWidth, s.Opt.TopicLen), jwbCorrect)
+		}
+		rows = append(rows, row)
+	}
+	tab := &Table{
+		ID:      "VII",
+		Caption: "Single-task baselines vs Joint-WB for topic generation (seen domains; * = significant, McNemar p<0.05)",
+		Header:  []string{"Methods", "EM", "RM"},
+	}
+	for _, r := range rows {
+		tab.Add(r.System+r.Sig, pct(r.EM), pct(r.RM))
+	}
+	return tab, rows
+}
+
+// jointVariants are the Table VIII/IX baselines in presentation order.
+var jointVariants = []baselines.Exchange{
+	baselines.ExchangeNone,
+	baselines.ExchangeConcat,
+	baselines.ExchangeAverage,
+	baselines.ExchangeAttn,
+	baselines.ExchangeAttnBoth,
+	baselines.ExchangePipeline,
+}
+
+// jointEncoderKind returns the encoder regime for the joint baselines: the
+// paper builds them all on BERTSUM; the smoke scale uses GloVe to stay fast.
+func (s *Setup) jointEncoderKind() EncKind {
+	if s.Opt.Scale == ScaleSmoke {
+		return EncGloVe
+	}
+	return EncBERTSUM
+}
+
+// Table8 regenerates Table VIII: joint baselines vs Joint-WB for key
+// attribute extraction on seen domains.
+func (s *Setup) Table8() (*Table, []PRF1Row) {
+	kind := s.jointEncoderKind()
+	jwb := s.Teacher()
+	jwbCorrect := wb.ExtractionCorrect(jwb, s.SeenTest)
+	var rows []PRF1Row
+	for _, variant := range jointVariants {
+		m := s.JointBaseline(variant, kind)
+		rows = append(rows, PRF1Row{
+			System: m.Name(),
+			Scores: wb.EvaluateExtraction(m, s.SeenTest),
+			Sig:    sigMark(wb.ExtractionCorrect(m, s.SeenTest), jwbCorrect),
+		})
+	}
+	rows = append(rows, PRF1Row{System: jwb.Name(), Scores: wb.EvaluateExtraction(jwb, s.SeenTest)})
+	tab := &Table{
+		ID:      "VIII",
+		Caption: "Joint baselines vs Joint-WB for key attribute extraction (seen domains; * = significant, McNemar p<0.05)",
+		Header:  []string{"Methods", "P", "R", "F1"},
+	}
+	for _, r := range rows {
+		tab.Add(r.System+r.Sig, pct(r.Scores.Precision), pct(r.Scores.Recall), pct(r.Scores.F1))
+	}
+	return tab, rows
+}
+
+// Table9 regenerates Table IX: joint baselines vs Joint-WB for topic
+// generation on seen domains.
+func (s *Setup) Table9() (*Table, []EMRMRow) {
+	kind := s.jointEncoderKind()
+	jwb := s.Teacher()
+	jwbCorrect := wb.TopicCorrect(jwb, s.SeenTest, s.Vocab, s.Opt.BeamWidth, s.Opt.TopicLen)
+	var rows []EMRMRow
+	for _, variant := range jointVariants {
+		m := s.JointBaseline(variant, kind)
+		em, rm := wb.EvaluateTopics(m, s.SeenTest, s.Vocab, s.Opt.BeamWidth, s.Opt.TopicLen)
+		rows = append(rows, EMRMRow{
+			System: m.Name(), EM: em, RM: rm,
+			Sig: sigMark(wb.TopicCorrect(m, s.SeenTest, s.Vocab, s.Opt.BeamWidth, s.Opt.TopicLen), jwbCorrect),
+		})
+	}
+	em, rm := wb.EvaluateTopics(jwb, s.SeenTest, s.Vocab, s.Opt.BeamWidth, s.Opt.TopicLen)
+	rows = append(rows, EMRMRow{System: jwb.Name(), EM: em, RM: rm})
+	tab := &Table{
+		ID:      "IX",
+		Caption: "Joint baselines vs Joint-WB for topic generation (seen domains; * = significant, McNemar p<0.05)",
+		Header:  []string{"Methods", "EM", "RM"},
+	}
+	for _, r := range rows {
+		tab.Add(r.System+r.Sig, pct(r.EM), pct(r.RM))
+	}
+	return tab, rows
+}

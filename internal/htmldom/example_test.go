@@ -1,0 +1,38 @@
+package htmldom_test
+
+import (
+	"fmt"
+
+	"webbrief/internal/htmldom"
+)
+
+// ExampleVisibleText shows the Selenium-substitute rendering step: scripts,
+// styles and hidden elements disappear; block elements become lines.
+func ExampleVisibleText() {
+	src := `<html><head><title>Shop</title><script>track()</script></head>
+<body>
+  <h1>Deep Learning Book</h1>
+  <div class="price">$ 40.13</div>
+  <div style="display:none">internal sku 992</div>
+  <p>Free <b>shipping</b> today!</p>
+</body></html>`
+	doc := htmldom.Parse(src)
+	fmt.Println(htmldom.VisibleText(doc))
+	// Output:
+	// Deep Learning Book
+	// $ 40.13
+	// Free shipping today!
+}
+
+// ExampleParse demonstrates tree queries over tag-soup input (note the
+// unclosed <li> elements).
+func ExampleParse() {
+	doc := htmldom.Parse(`<ul><li>alpha<li>beta<li>gamma</ul>`)
+	for _, li := range doc.FindAll("li") {
+		fmt.Println(li.Children[0].Text)
+	}
+	// Output:
+	// alpha
+	// beta
+	// gamma
+}

@@ -1,0 +1,59 @@
+package htmldom
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the tokenizer, parser and renderer with arbitrary bytes.
+// The invariants: never panic, never loop forever, and the rendered text
+// never contains content from script/style elements.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"<div>hello</div>",
+		"<script>var x = '<div>'</script>visible",
+		"<ul><li>a<li>b</ul>",
+		"<p>a<br>b<img src=x alt='pic'>",
+		"<table><tr><td>1<td>2</table>",
+		"<!DOCTYPE html><html><head><title>t</title></head><body>b</body></html>",
+		"<div style='display:none'>hidden</div>shown",
+		"&amp;&#65;&#x42;&nope;",
+		"<<<>>>", "</", "<!--", "<a href=", "\x00\xff<div>",
+		"<div class='a b c' id=x data-y>text</div>",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc := Parse(src)
+		text := VisibleText(doc)
+		// Invariant: block lines are trimmed and never empty.
+		for _, line := range strings.Split(text, "\n") {
+			if text != "" && strings.TrimSpace(line) != line {
+				t.Fatalf("untrimmed line %q", line)
+			}
+		}
+		// Invariant: walking the tree terminates and parents are consistent.
+		doc.Walk(func(n *Node) bool {
+			for _, c := range n.Children {
+				if c.Parent != n {
+					t.Fatal("broken parent pointer")
+				}
+			}
+			return true
+		})
+	})
+}
+
+// FuzzUnescapeEntities checks the entity decoder never panics and is
+// identity on '&'-free input.
+func FuzzUnescapeEntities(f *testing.F) {
+	for _, seed := range []string{"&amp;", "&#65;", "&#x1F600;", "plain", "&;", "&#;", "&#x;"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		out := UnescapeEntities(s)
+		if !strings.ContainsRune(s, '&') && out != s {
+			t.Fatalf("identity violated: %q -> %q", s, out)
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package htmldom
+
+import (
+	"strings"
+)
+
+// invisibleElements contribute no visible text regardless of content.
+var invisibleElements = map[string]bool{
+	"script": true, "style": true, "head": true, "noscript": true,
+	"template": true, "iframe": true, "object": true, "svg": true,
+	"meta": true, "link": true, "base": true,
+}
+
+// blockElements introduce a line break before and after their content when
+// rendered, so text from different blocks is never fused into one sentence.
+var blockElements = map[string]bool{
+	"address": true, "article": true, "aside": true, "blockquote": true,
+	"body": true, "dd": true, "div": true, "dl": true, "dt": true,
+	"fieldset": true, "figcaption": true, "figure": true, "footer": true,
+	"form": true, "h1": true, "h2": true, "h3": true, "h4": true,
+	"h5": true, "h6": true, "header": true, "hr": true, "html": true,
+	"li": true, "main": true, "nav": true, "ol": true, "p": true,
+	"pre": true, "section": true, "table": true, "tbody": true, "td": true,
+	"tfoot": true, "th": true, "thead": true, "tr": true, "ul": true,
+	"br": true, "caption": true, "option": true, "select": true,
+}
+
+// isHidden reports whether an element is hidden via the subset of
+// style/attribute conventions that static pages use.
+func isHidden(n *Node) bool {
+	if _, ok := n.Attr("hidden"); ok {
+		return true
+	}
+	if style, ok := n.Attr("style"); ok {
+		s := strings.ReplaceAll(strings.ToLower(style), " ", "")
+		if strings.Contains(s, "display:none") || strings.Contains(s, "visibility:hidden") {
+			return true
+		}
+	}
+	if typ, ok := n.Attr("type"); ok && n.Tag == "input" && strings.EqualFold(typ, "hidden") {
+		return true
+	}
+	return false
+}
+
+// VisibleText renders the text a browser would display for the document (or
+// subtree) rooted at n. Text inside distinct block-level elements is
+// separated by newlines; inline runs are joined with single spaces; all
+// whitespace is collapsed. This is the artifact the paper's preprocessing
+// pipeline (§IV-A3) starts from.
+func VisibleText(n *Node) string {
+	var b strings.Builder
+	renderText(n, &b)
+	return tidyLines(b.String())
+}
+
+func renderText(n *Node, b *strings.Builder) {
+	switch n.Type {
+	case TextNode:
+		b.WriteString(collapseSpace(n.Text))
+		b.WriteByte(' ')
+		return
+	case CommentNode:
+		return
+	case ElementNode:
+		if invisibleElements[n.Tag] || isHidden(n) {
+			return
+		}
+		if n.Tag == "img" {
+			if alt, ok := n.Attr("alt"); ok && strings.TrimSpace(alt) != "" {
+				b.WriteString(collapseSpace(alt))
+				b.WriteByte(' ')
+			}
+			return
+		}
+	}
+	block := n.Type == ElementNode && blockElements[n.Tag]
+	if block {
+		b.WriteByte('\n')
+	}
+	for _, c := range n.Children {
+		renderText(c, b)
+	}
+	if block {
+		b.WriteByte('\n')
+	}
+}
+
+// collapseSpace reduces any whitespace run to a single space.
+func collapseSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// tidyLines trims each line, drops empties, and joins with single newlines.
+func tidyLines(s string) string {
+	lines := strings.Split(s, "\n")
+	out := lines[:0]
+	for _, ln := range lines {
+		ln = strings.TrimSpace(collapseSpace(ln))
+		if ln != "" {
+			out = append(out, ln)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// VisibleLines returns the visible text split into block-level lines, the
+// unit the corpus pipeline treats as candidate sentences.
+func VisibleLines(n *Node) []string {
+	text := VisibleText(n)
+	if text == "" {
+		return nil
+	}
+	return strings.Split(text, "\n")
+}
+
+// Title returns the contents of the document's <title> element, if any.
+func Title(doc *Node) string {
+	t := doc.Find("title")
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, c := range t.Children {
+		if c.Type == TextNode {
+			b.WriteString(c.Text)
+		}
+	}
+	return strings.TrimSpace(collapseSpace(b.String()))
+}

@@ -1,0 +1,215 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"webbrief/internal/ag"
+)
+
+// AttnDecoder is an LSTM decoder with bilinear attention over an encoder
+// memory, the generator architecture of §III-C (LSTM decode over Bi-LSTM
+// encoded sentences) and of the [Bi-LSTM, LSTM] baselines. At inference it
+// supports greedy and beam-search decoding (§IV-A5 uses beam search).
+type AttnDecoder struct {
+	Emb  *Embedding // output-vocabulary embeddings
+	Cell *LSTM      // input width = Emb.Dim()
+	Att  *Bilinear  // hidden×memDim
+	Out  *Linear    // (hidden+memDim)×vocab
+}
+
+// NewAttnDecoder builds a decoder producing distributions over vocab tokens,
+// attending over memDim-wide encoder states. The decoder uses input feeding:
+// the attention context computed from the previous hidden state joins the
+// token embedding as the cell input, so the hidden states (the topic
+// representations Q of §III-C) genuinely depend on the attended memory.
+func NewAttnDecoder(name string, vocab, embDim, hidden, memDim int, rng *rand.Rand) *AttnDecoder {
+	return &AttnDecoder{
+		Emb:  NewEmbedding(name+".emb", vocab, embDim, rng),
+		Cell: NewLSTM(name+".cell", embDim+memDim, hidden, rng),
+		Att:  NewBilinear(name+".att", hidden, memDim, rng),
+		Out:  NewLinear(name+".out", hidden+memDim, vocab, rng),
+	}
+}
+
+// Params implements Layer.
+func (d *AttnDecoder) Params() []*ag.Param {
+	var ps []*ag.Param
+	ps = append(ps, d.Emb.Params()...)
+	ps = append(ps, d.Cell.Params()...)
+	ps = append(ps, d.Att.Params()...)
+	ps = append(ps, d.Out.Params()...)
+	return ps
+}
+
+// step advances one decode step: attend over memory with the previous
+// hidden state, feed embedding+context into the cell, and project the new
+// state joined with the context to vocabulary logits.
+func (d *AttnDecoder) step(t *ag.Tape, prev int, s State, memory *ag.Node) (logits *ag.Node, next State) {
+	att := d.Att.Attention(t, s.H, memory) // 1×memRows
+	ctx := t.MatMul(att, memory)           // 1×memDim
+	x := t.ConcatCols(d.Emb.Forward(t, []int{prev}), ctx)
+	next = d.Cell.Step(t, x, s)
+	logits = d.Out.Forward(t, t.ConcatCols(next.H, ctx))
+	return logits, next
+}
+
+// ForwardTeacherForcing decodes with teacher forcing: inputs[i] feeds step i
+// and the returned len(inputs)×vocab logits are scored against the shifted
+// targets by the caller. inputs normally starts with BOS.
+func (d *AttnDecoder) ForwardTeacherForcing(t *ag.Tape, memory *ag.Node, inputs []int) *ag.Node {
+	logits, _ := d.ForwardStates(t, memory, inputs)
+	return logits
+}
+
+// ForwardStates is ForwardTeacherForcing that additionally returns the
+// decoder hidden states (len(inputs)×hidden) — the topic token
+// representations Q of §III-C, from which the integrated topic
+// representation Q^b is built.
+func (d *AttnDecoder) ForwardStates(t *ag.Tape, memory *ag.Node, inputs []int) (logits, states *ag.Node) {
+	s := d.Cell.ZeroState(t)
+	rows := make([]*ag.Node, len(inputs))
+	hs := make([]*ag.Node, len(inputs))
+	for i, tok := range inputs {
+		rows[i], s = d.step(t, tok, s, memory)
+		hs[i] = s.H
+	}
+	return t.ConcatRows(rows...), t.ConcatRows(hs...)
+}
+
+// GreedyWithStates greedily decodes up to maxLen tokens and returns both the
+// tokens (EOS excluded) and the decoder hidden states for the emitted steps.
+// Models use it at inference where no gold topic is available to force.
+func (d *AttnDecoder) GreedyWithStates(t *ag.Tape, memory *ag.Node, bos, eos, maxLen int) ([]int, *ag.Node) {
+	s := d.Cell.ZeroState(t)
+	prev := bos
+	var out []int
+	var hs []*ag.Node
+	for i := 0; i < maxLen; i++ {
+		var logits *ag.Node
+		logits, s = d.step(t, prev, s, memory)
+		hs = append(hs, s.H)
+		tok := logits.Value.ArgmaxRow(0)
+		if tok == eos {
+			break
+		}
+		out = append(out, tok)
+		prev = tok
+	}
+	return out, t.ConcatRows(hs...)
+}
+
+// Greedy decodes up to maxLen tokens, stopping at eos. The returned slice
+// excludes BOS and EOS.
+func (d *AttnDecoder) Greedy(t *ag.Tape, memory *ag.Node, bos, eos, maxLen int) []int {
+	s := d.Cell.ZeroState(t)
+	prev := bos
+	var out []int
+	for i := 0; i < maxLen; i++ {
+		var logits *ag.Node
+		logits, s = d.step(t, prev, s, memory)
+		tok := logits.Value.ArgmaxRow(0)
+		if tok == eos {
+			break
+		}
+		out = append(out, tok)
+		prev = tok
+	}
+	return out
+}
+
+// beam is one hypothesis during beam search.
+type beam struct {
+	tokens  []int
+	logProb float64
+	state   State
+	done    bool
+}
+
+// BeamSearch decodes with the given beam width and maximum depth, returning
+// the highest-scoring completed hypothesis (length-normalised log
+// probability). The paper uses width 200 and depth 4; both are parameters
+// here so experiments can scale them to the corpus.
+func (d *AttnDecoder) BeamSearch(t *ag.Tape, memory *ag.Node, bos, eos, width, maxLen int) []int {
+	beams := []beam{{state: d.Cell.ZeroState(t)}}
+	for depth := 0; depth < maxLen; depth++ {
+		var next []beam
+		for _, b := range beams {
+			if b.done {
+				next = append(next, b)
+				continue
+			}
+			prev := bos
+			if len(b.tokens) > 0 {
+				prev = b.tokens[len(b.tokens)-1]
+			}
+			logits, s := d.step(t, prev, b.state, memory)
+			logp := logits.Value.LogSoftmaxRows().Row(0)
+			// Expand only the top `width` continuations of this beam;
+			// expanding more can never survive the global prune below.
+			idx := topK(logp, width)
+			for _, j := range idx {
+				nb := beam{
+					tokens:  append(append([]int(nil), b.tokens...), j),
+					logProb: b.logProb + logp[j],
+					state:   s,
+					done:    j == eos,
+				}
+				next = append(next, nb)
+			}
+		}
+		sort.SliceStable(next, func(i, j int) bool {
+			return score(next[i]) > score(next[j])
+		})
+		if len(next) > width {
+			next = next[:width]
+		}
+		beams = next
+		allDone := true
+		for _, b := range beams {
+			if !b.done {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+	}
+	best := beams[0]
+	for _, b := range beams[1:] {
+		if score(b) > score(best) {
+			best = b
+		}
+	}
+	// Strip the trailing EOS if present.
+	toks := best.tokens
+	if len(toks) > 0 && best.done {
+		toks = toks[:len(toks)-1]
+	}
+	return toks
+}
+
+// score is the length-normalised log probability of a beam.
+func score(b beam) float64 {
+	n := len(b.tokens)
+	if n == 0 {
+		return math.Inf(-1)
+	}
+	return b.logProb / float64(n)
+}
+
+// topK returns the indices of the k largest values in xs (k capped at
+// len(xs)), in descending value order.
+func topK(xs []float64, k int) []int {
+	if k > len(xs) {
+		k = len(xs)
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] > xs[idx[b]] })
+	return idx[:k]
+}

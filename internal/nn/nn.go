@@ -1,0 +1,165 @@
+// Package nn provides the neural-network layers from which every model in
+// this repository is assembled: linear projections, embeddings, LSTM and
+// Bi-LSTM encoders (§III-C of the paper), bilinear attention (the dual-aware
+// signal-exchange mechanisms), an attention decoder with beam search (the
+// topic generator G), and a from-scratch transformer encoder that plays the
+// role of BERT_base / BERTSUM at CPU-trainable scale.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"webbrief/internal/ag"
+	"webbrief/internal/tensor"
+)
+
+// Layer is anything exposing trainable parameters.
+type Layer interface {
+	Params() []*ag.Param
+}
+
+// CollectParams flattens the parameters of several layers, preserving order
+// so optimizer state is stable across runs.
+func CollectParams(layers ...Layer) []*ag.Param {
+	var out []*ag.Param
+	for _, l := range layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// CopyParams copies parameter values from src into dst position-wise. Both
+// layers must have identical architecture (same parameter count and
+// shapes); it is how a pre-trained encoder is cloned into several models
+// that each fine-tune their own copy.
+func CopyParams(dst, src Layer) {
+	dps, sps := dst.Params(), src.Params()
+	if len(dps) != len(sps) {
+		panic(fmt.Sprintf("nn: CopyParams count mismatch %d vs %d", len(dps), len(sps)))
+	}
+	for i, dp := range dps {
+		sp := sps[i]
+		if !dp.Value.SameShape(sp.Value) {
+			panic(fmt.Sprintf("nn: CopyParams shape mismatch at %s/%s", dp.Name, sp.Name))
+		}
+		copy(dp.Value.Data, sp.Value.Data)
+	}
+}
+
+// xavier returns the Glorot-uniform initialisation bound for a layer with
+// the given fan-in and fan-out.
+func xavier(in, out int) float64 { return math.Sqrt(6.0 / float64(in+out)) }
+
+// Linear is a fully connected layer y = x·W + b.
+type Linear struct {
+	W *ag.Param // in×out
+	B *ag.Param // 1×out
+}
+
+// NewLinear returns a Glorot-initialised linear layer.
+func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
+	bound := xavier(in, out)
+	return &Linear{
+		W: ag.NewParam(name+".W", tensor.Uniform(in, out, -bound, bound, rng)),
+		B: ag.NewParam(name+".B", tensor.New(1, out)),
+	}
+}
+
+// Forward applies the affine map to x (rows are examples or timesteps).
+func (l *Linear) Forward(t *ag.Tape, x *ag.Node) *ag.Node {
+	return t.AddRowVector(t.MatMul(x, t.Use(l.W)), t.Use(l.B))
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*ag.Param { return []*ag.Param{l.W, l.B} }
+
+// OutDim returns the layer's output width.
+func (l *Linear) OutDim() int { return l.W.Value.Cols }
+
+// Embedding maps token ids to dense vectors via table lookup.
+type Embedding struct {
+	Table *ag.Param // vocab×dim
+}
+
+// NewEmbedding returns an embedding table initialised from N(0, 0.1²).
+func NewEmbedding(name string, vocab, dim int, rng *rand.Rand) *Embedding {
+	return &Embedding{Table: ag.NewParam(name+".E", tensor.Randn(vocab, dim, 0.1, rng))}
+}
+
+// EmbeddingFromMatrix wraps a pre-trained matrix (e.g. GloVe vectors) as an
+// embedding layer; the matrix continues to receive gradients (fine-tuning).
+func EmbeddingFromMatrix(name string, m *tensor.Matrix) *Embedding {
+	return &Embedding{Table: ag.NewParam(name+".E", m)}
+}
+
+// Forward looks up the rows for ids, returning a len(ids)×dim node.
+func (e *Embedding) Forward(t *ag.Tape, ids []int) *ag.Node {
+	for _, id := range ids {
+		if id < 0 || id >= e.Table.Value.Rows {
+			panic(fmt.Sprintf("nn: embedding id %d out of range [0,%d)", id, e.Table.Value.Rows))
+		}
+	}
+	return t.Lookup(t.Use(e.Table), ids)
+}
+
+// Params implements Layer.
+func (e *Embedding) Params() []*ag.Param { return []*ag.Param{e.Table} }
+
+// Dim returns the embedding width.
+func (e *Embedding) Dim() int { return e.Table.Value.Cols }
+
+// Vocab returns the number of rows in the table.
+func (e *Embedding) Vocab() int { return e.Table.Value.Rows }
+
+// LayerNorm standardises each row and applies a learned gain and bias.
+type LayerNorm struct {
+	Gain *ag.Param // 1×dim
+	Bias *ag.Param // 1×dim
+	Eps  float64
+}
+
+// NewLayerNorm returns a layer norm with unit gain and zero bias.
+func NewLayerNorm(name string, dim int) *LayerNorm {
+	return &LayerNorm{
+		Gain: ag.NewParam(name+".g", tensor.Full(1, dim, 1)),
+		Bias: ag.NewParam(name+".b", tensor.New(1, dim)),
+		Eps:  1e-5,
+	}
+}
+
+// Forward applies normalisation to each row of x.
+func (ln *LayerNorm) Forward(t *ag.Tape, x *ag.Node) *ag.Node {
+	normed := t.RowNorm(x, ln.Eps)
+	return t.AddRowVector(t.MulRowVector(normed, t.Use(ln.Gain)), t.Use(ln.Bias))
+}
+
+// Params implements Layer.
+func (ln *LayerNorm) Params() []*ag.Param { return []*ag.Param{ln.Gain, ln.Bias} }
+
+// Bilinear computes attention scores a·W·bᵀ, the form used throughout the
+// paper: A_T = softmax(H·W_AT·Rᵀ) for identification distillation and
+// A_E = softmax(C_E·W_AE·Q) for the dual-aware mechanisms.
+type Bilinear struct {
+	W *ag.Param // dimA×dimB
+}
+
+// NewBilinear returns a Glorot-initialised bilinear form.
+func NewBilinear(name string, dimA, dimB int, rng *rand.Rand) *Bilinear {
+	bound := xavier(dimA, dimB)
+	return &Bilinear{W: ag.NewParam(name+".W", tensor.Uniform(dimA, dimB, -bound, bound, rng))}
+}
+
+// Scores returns a·W·bᵀ with shape rowsA×rowsB.
+func (bl *Bilinear) Scores(t *ag.Tape, a, b *ag.Node) *ag.Node {
+	return t.MatMulTransB(t.MatMul(a, t.Use(bl.W)), b)
+}
+
+// Attention returns row-softmaxed scores.
+func (bl *Bilinear) Attention(t *ag.Tape, a, b *ag.Node) *ag.Node {
+	return t.SoftmaxRows(bl.Scores(t, a, b))
+}
+
+// Params implements Layer.
+func (bl *Bilinear) Params() []*ag.Param { return []*ag.Param{bl.W} }

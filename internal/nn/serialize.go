@@ -1,0 +1,77 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"webbrief/internal/ag"
+)
+
+// ParamBlob is the serialised form of one parameter.
+type ParamBlob struct {
+	Name       string
+	Rows, Cols int
+	Data       []float64
+}
+
+// SaveParams writes a layer's parameters to w with encoding/gob, in the
+// stable order Params() defines.
+func SaveParams(w io.Writer, l Layer) error {
+	return EncodeParams(gob.NewEncoder(w), l)
+}
+
+// EncodeParams writes a layer's parameters through an existing gob encoder,
+// for callers that serialise surrounding metadata with the same codec (gob
+// decoders buffer ahead, so one stream must use one codec end to end).
+func EncodeParams(enc *gob.Encoder, l Layer) error {
+	ps := l.Params()
+	blobs := make([]ParamBlob, len(ps))
+	for i, p := range ps {
+		blobs[i] = ParamBlob{
+			Name: p.Name,
+			Rows: p.Value.Rows,
+			Cols: p.Value.Cols,
+			Data: p.Value.Data,
+		}
+	}
+	return enc.Encode(blobs)
+}
+
+// LoadParams reads parameters written by SaveParams into an
+// identically-architected layer. Names are not required to match (they
+// embed construction seeds) but shapes and order must.
+func LoadParams(r io.Reader, l Layer) error {
+	return DecodeParams(gob.NewDecoder(r), l)
+}
+
+// DecodeParams is the decoder-sharing counterpart of EncodeParams.
+func DecodeParams(dec *gob.Decoder, l Layer) error {
+	var blobs []ParamBlob
+	if err := dec.Decode(&blobs); err != nil {
+		return fmt.Errorf("nn: decode params: %w", err)
+	}
+	ps := l.Params()
+	if len(blobs) != len(ps) {
+		return fmt.Errorf("nn: parameter count mismatch: file has %d, model has %d", len(blobs), len(ps))
+	}
+	for i, b := range blobs {
+		p := ps[i]
+		if b.Rows != p.Value.Rows || b.Cols != p.Value.Cols {
+			return fmt.Errorf("nn: shape mismatch at %d (%s): file %dx%d, model %dx%d",
+				i, p.Name, b.Rows, b.Cols, p.Value.Rows, p.Value.Cols)
+		}
+		copy(p.Value.Data, b.Data)
+	}
+	return nil
+}
+
+// paramsLayer adapts a raw parameter slice to the Layer interface, for
+// serialising parameter groups that are not a single layer.
+type paramsLayer []*ag.Param
+
+// Params implements Layer.
+func (p paramsLayer) Params() []*ag.Param { return p }
+
+// WrapParams exposes a parameter slice as a Layer for Save/LoadParams.
+func WrapParams(ps []*ag.Param) Layer { return paramsLayer(ps) }

@@ -1,0 +1,206 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"webbrief/internal/ag"
+	"webbrief/internal/tensor"
+)
+
+// TransformerConfig sizes a Transformer encoder. The defaults used by the
+// experiments produce "MiniBERT" — the same architecture class as BERT_base
+// (token+position+segment embeddings, multi-head self-attention, residual
+// post-layer-norm blocks) scaled to CPU-trainable dimensions, the
+// substitution recorded in DESIGN.md.
+type TransformerConfig struct {
+	Vocab    int
+	Dim      int // model width; must be divisible by Heads
+	Heads    int
+	Layers   int
+	FFDim    int // feed-forward inner width
+	MaxLen   int // maximum sequence length for positional embeddings
+	Segments int // number of segment types (BERTSUM uses 2 interval segments)
+}
+
+// Validate checks the configuration for internal consistency.
+func (c TransformerConfig) Validate() error {
+	if c.Dim%c.Heads != 0 {
+		return fmt.Errorf("nn: Dim %d not divisible by Heads %d", c.Dim, c.Heads)
+	}
+	if c.Vocab <= 0 || c.Layers <= 0 || c.MaxLen <= 0 {
+		return fmt.Errorf("nn: invalid transformer config %+v", c)
+	}
+	return nil
+}
+
+// MultiHeadSelfAttention is standard scaled dot-product attention with
+// learned Q/K/V/output projections.
+type MultiHeadSelfAttention struct {
+	Wq, Wk, Wv, Wo *Linear
+	Heads          int
+	headDim        int
+}
+
+// NewMultiHeadSelfAttention returns an attention block of the given width.
+func NewMultiHeadSelfAttention(name string, dim, heads int, rng *rand.Rand) *MultiHeadSelfAttention {
+	return &MultiHeadSelfAttention{
+		Wq:      NewLinear(name+".q", dim, dim, rng),
+		Wk:      NewLinear(name+".k", dim, dim, rng),
+		Wv:      NewLinear(name+".v", dim, dim, rng),
+		Wo:      NewLinear(name+".o", dim, dim, rng),
+		Heads:   heads,
+		headDim: dim / heads,
+	}
+}
+
+// Params implements Layer.
+func (m *MultiHeadSelfAttention) Params() []*ag.Param {
+	return CollectParams(m.Wq, m.Wk, m.Wv, m.Wo)
+}
+
+// Forward attends x (seq×dim) to itself. mask, if non-nil, is a seq×seq
+// additive mask (0 for allowed, large negative for blocked positions).
+func (m *MultiHeadSelfAttention) Forward(t *ag.Tape, x *ag.Node, mask *tensor.Matrix) *ag.Node {
+	q := m.Wq.Forward(t, x)
+	k := m.Wk.Forward(t, x)
+	v := m.Wv.Forward(t, x)
+	scale := 1 / math.Sqrt(float64(m.headDim))
+	heads := make([]*ag.Node, m.Heads)
+	for h := 0; h < m.Heads; h++ {
+		lo, hi := h*m.headDim, (h+1)*m.headDim
+		qh := t.SliceCols(q, lo, hi)
+		kh := t.SliceCols(k, lo, hi)
+		vh := t.SliceCols(v, lo, hi)
+		scores := t.Scale(t.MatMulTransB(qh, kh), scale)
+		if mask != nil {
+			scores = t.AddMasked(scores, mask)
+		}
+		heads[h] = t.MatMul(t.SoftmaxRows(scores), vh)
+	}
+	return m.Wo.Forward(t, t.ConcatCols(heads...))
+}
+
+// EncoderLayer is one post-LN transformer block.
+type EncoderLayer struct {
+	Attn *MultiHeadSelfAttention
+	FF1  *Linear
+	FF2  *Linear
+	LN1  *LayerNorm
+	LN2  *LayerNorm
+}
+
+// NewEncoderLayer returns one transformer block.
+func NewEncoderLayer(name string, dim, heads, ffDim int, rng *rand.Rand) *EncoderLayer {
+	return &EncoderLayer{
+		Attn: NewMultiHeadSelfAttention(name+".attn", dim, heads, rng),
+		FF1:  NewLinear(name+".ff1", dim, ffDim, rng),
+		FF2:  NewLinear(name+".ff2", ffDim, dim, rng),
+		LN1:  NewLayerNorm(name+".ln1", dim),
+		LN2:  NewLayerNorm(name+".ln2", dim),
+	}
+}
+
+// Params implements Layer.
+func (e *EncoderLayer) Params() []*ag.Param {
+	return CollectParams(e.Attn, e.FF1, e.FF2, e.LN1, e.LN2)
+}
+
+// Forward applies attention and feed-forward sublayers with residuals.
+func (e *EncoderLayer) Forward(t *ag.Tape, x *ag.Node, mask *tensor.Matrix) *ag.Node {
+	h := e.LN1.Forward(t, t.Add(x, e.Attn.Forward(t, x, mask)))
+	ff := e.FF2.Forward(t, t.ReLU(e.FF1.Forward(t, h)))
+	return e.LN2.Forward(t, t.Add(h, ff))
+}
+
+// Transformer is the MiniBERT encoder: token, position and segment
+// embeddings summed, layer-normed, then passed through encoder blocks.
+type Transformer struct {
+	Config TransformerConfig
+	Tok    *Embedding
+	Pos    *Embedding
+	Seg    *Embedding
+	LNEmb  *LayerNorm
+	Blocks []*EncoderLayer
+}
+
+// NewTransformer constructs a MiniBERT encoder; it panics on an invalid
+// configuration because the sizes are compile-time constants in this
+// codebase.
+func NewTransformer(name string, cfg TransformerConfig, rng *rand.Rand) *Transformer {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Segments <= 0 {
+		cfg.Segments = 2
+	}
+	tr := &Transformer{
+		Config: cfg,
+		Tok:    NewEmbedding(name+".tok", cfg.Vocab, cfg.Dim, rng),
+		Pos:    NewEmbedding(name+".pos", cfg.MaxLen, cfg.Dim, rng),
+		Seg:    NewEmbedding(name+".seg", cfg.Segments, cfg.Dim, rng),
+		LNEmb:  NewLayerNorm(name+".lnEmb", cfg.Dim),
+	}
+	for i := 0; i < cfg.Layers; i++ {
+		tr.Blocks = append(tr.Blocks, NewEncoderLayer(fmt.Sprintf("%s.block%d", name, i), cfg.Dim, cfg.Heads, cfg.FFDim, rng))
+	}
+	return tr
+}
+
+// Params implements Layer.
+func (tr *Transformer) Params() []*ag.Param {
+	ps := CollectParams(tr.Tok, tr.Pos, tr.Seg, tr.LNEmb)
+	for _, b := range tr.Blocks {
+		ps = append(ps, b.Params()...)
+	}
+	return ps
+}
+
+// Encode returns contextual embeddings (seq×dim) for token ids with segment
+// ids segs (BERTSUM's alternating interval segments; pass nil for all-zero
+// segments, plain-BERT style). Sequences longer than MaxLen are rejected —
+// callers split documents into sub-documents first, exactly as §IV-A3 splits
+// 2048-token pages into 512-token windows for BERT.
+func (tr *Transformer) Encode(t *ag.Tape, ids, segs []int) *ag.Node {
+	if len(ids) > tr.Config.MaxLen {
+		panic(fmt.Sprintf("nn: sequence length %d exceeds MaxLen %d; split the document first", len(ids), tr.Config.MaxLen))
+	}
+	if segs == nil {
+		segs = make([]int, len(ids))
+	}
+	if len(segs) != len(ids) {
+		panic("nn: segs length mismatch")
+	}
+	pos := make([]int, len(ids))
+	for i := range pos {
+		pos[i] = i
+	}
+	x := t.Add(t.Add(tr.Tok.Forward(t, ids), tr.Pos.Forward(t, pos)), tr.Seg.Forward(t, segs))
+	x = tr.LNEmb.Forward(t, x)
+	for _, b := range tr.Blocks {
+		x = b.Forward(t, x, nil)
+	}
+	return x
+}
+
+// EncodeWindows encodes a long document by splitting it into MaxLen windows
+// and concatenating the outputs, the paper's sub-document workaround for
+// BERT's input-length limit.
+func (tr *Transformer) EncodeWindows(t *ag.Tape, ids, segs []int) *ag.Node {
+	if segs == nil {
+		segs = make([]int, len(ids))
+	}
+	if len(ids) <= tr.Config.MaxLen {
+		return tr.Encode(t, ids, segs)
+	}
+	var parts []*ag.Node
+	for lo := 0; lo < len(ids); lo += tr.Config.MaxLen {
+		hi := lo + tr.Config.MaxLen
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		parts = append(parts, tr.Encode(t, ids[lo:hi], segs[lo:hi]))
+	}
+	return t.ConcatRows(parts...)
+}

@@ -1,0 +1,542 @@
+// Package tensor provides dense two-dimensional float64 matrices and the
+// numeric kernels used by the autodiff and neural-network layers of the
+// webpage-briefing models. Matrices are row-major and sized at construction.
+//
+// The package is deliberately restricted to rank-2 tensors: every quantity
+// in the paper's models (token embeddings, hidden state sequences, attention
+// maps, output distributions) is naturally a matrix, with vectors expressed
+// as 1×n or n×1 matrices. Keeping a single rank removes a whole class of
+// shape bugs and keeps the kernels simple enough to audit.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense, row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zero matrix with the given shape. It panics if either
+// dimension is non-positive, since a degenerate matrix is always a caller
+// bug in this codebase.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data in a matrix of the given shape. The slice is used
+// directly, not copied; len(data) must equal rows*cols.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("tensor: FromRows requires at least one non-empty row")
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("tensor: ragged row %d: got %d want %d", i, len(r), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:], r)
+	}
+	return m
+}
+
+// Randn returns a matrix with entries drawn from N(0, std²) using rng.
+func Randn(rows, cols int, std float64, rng *rand.Rand) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+	return m
+}
+
+// Uniform returns a matrix with entries drawn uniformly from [lo, hi).
+func Uniform(rows, cols int, lo, hi float64, rng *rand.Rand) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = lo + (hi-lo)*rng.Float64()
+	}
+	return m
+}
+
+// Full returns a matrix with every entry set to v.
+func Full(rows, cols int, v float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+	return m
+}
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (shares the underlying storage).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// SameShape reports whether m and o have identical dimensions.
+func (m *Matrix) SameShape(o *Matrix) bool { return m.Rows == o.Rows && m.Cols == o.Cols }
+
+// Zero sets every entry of m to zero in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+func (m *Matrix) shapeCheck(o *Matrix, op string) {
+	if !m.SameShape(o) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+// Add returns m + o.
+func (m *Matrix) Add(o *Matrix) *Matrix {
+	m.shapeCheck(o, "Add")
+	r := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		r.Data[i] = m.Data[i] + o.Data[i]
+	}
+	return r
+}
+
+// AddInPlace adds o into m and returns m.
+func (m *Matrix) AddInPlace(o *Matrix) *Matrix {
+	m.shapeCheck(o, "AddInPlace")
+	for i := range m.Data {
+		m.Data[i] += o.Data[i]
+	}
+	return m
+}
+
+// AddScaledInPlace adds s*o into m and returns m.
+func (m *Matrix) AddScaledInPlace(o *Matrix, s float64) *Matrix {
+	m.shapeCheck(o, "AddScaledInPlace")
+	for i := range m.Data {
+		m.Data[i] += s * o.Data[i]
+	}
+	return m
+}
+
+// Sub returns m - o.
+func (m *Matrix) Sub(o *Matrix) *Matrix {
+	m.shapeCheck(o, "Sub")
+	r := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		r.Data[i] = m.Data[i] - o.Data[i]
+	}
+	return r
+}
+
+// Mul returns the elementwise (Hadamard) product m ⊙ o.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	m.shapeCheck(o, "Mul")
+	r := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		r.Data[i] = m.Data[i] * o.Data[i]
+	}
+	return r
+}
+
+// Scale returns s*m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	r := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		r.Data[i] = s * m.Data[i]
+	}
+	return r
+}
+
+// AddRowVector returns m with the 1×Cols vector v added to every row.
+func (m *Matrix) AddRowVector(v *Matrix) *Matrix {
+	if v.Rows != 1 || v.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVector wants 1x%d, got %dx%d", m.Cols, v.Rows, v.Cols))
+	}
+	r := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		out := r.Row(i)
+		for j, x := range row {
+			out[j] = x + v.Data[j]
+		}
+	}
+	return r
+}
+
+// MatMul returns the matrix product m·o. m is Rows×K, o is K×Cols.
+func (m *Matrix) MatMul(o *Matrix) *Matrix {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %dx%d · %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	r := New(m.Rows, o.Cols)
+	matMulInto(r, m, o)
+	return r
+}
+
+// parallelFlopThreshold is the approximate multiply count above which
+// MatMul fans rows out across goroutines. Below it the goroutine overhead
+// outweighs the work (typical matrices here are small).
+const parallelFlopThreshold = 1 << 18
+
+// matMulInto computes r = m·o using an ikj loop order that keeps the inner
+// loop streaming over contiguous rows of o — the standard cache-friendly
+// layout for row-major data. Large products are row-partitioned across
+// goroutines; each output row is owned by exactly one goroutine, so the
+// result is deterministic.
+func matMulInto(r, m, o *Matrix) {
+	if m.Rows*m.Cols*o.Cols >= parallelFlopThreshold && m.Rows > 1 {
+		parallelRows(m.Rows, func(lo, hi int) {
+			matMulRows(r, m, o, lo, hi)
+		})
+		return
+	}
+	matMulRows(r, m, o, 0, m.Rows)
+}
+
+// matMulRows computes output rows [lo, hi) of r = m·o.
+func matMulRows(r, m, o *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		mRow := m.Row(i)
+		rRow := r.Row(i)
+		for k, a := range mRow {
+			if a == 0 {
+				continue
+			}
+			oRow := o.Row(k)
+			for j, b := range oRow {
+				rRow[j] += a * b
+			}
+		}
+	}
+}
+
+// parallelRows splits [0, n) into one chunk per worker and runs fn on each
+// chunk concurrently.
+func parallelRows(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMulTransB returns m·oᵀ without materialising the transpose.
+func (m *Matrix) MatMulTransB(o *Matrix) *Matrix {
+	if m.Cols != o.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransB dim mismatch %dx%d · (%dx%d)ᵀ", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	r := New(m.Rows, o.Rows)
+	for i := 0; i < m.Rows; i++ {
+		mRow := m.Row(i)
+		rRow := r.Row(i)
+		for j := 0; j < o.Rows; j++ {
+			oRow := o.Row(j)
+			var s float64
+			for k, a := range mRow {
+				s += a * oRow[k]
+			}
+			rRow[j] = s
+		}
+	}
+	return r
+}
+
+// MatMulTransA returns mᵀ·o without materialising the transpose.
+func (m *Matrix) MatMulTransA(o *Matrix) *Matrix {
+	if m.Rows != o.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransA dim mismatch (%dx%d)ᵀ · %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	r := New(m.Cols, o.Cols)
+	for k := 0; k < m.Rows; k++ {
+		mRow := m.Row(k)
+		oRow := o.Row(k)
+		for i, a := range mRow {
+			if a == 0 {
+				continue
+			}
+			rRow := r.Row(i)
+			for j, b := range oRow {
+				rRow[j] += a * b
+			}
+		}
+	}
+	return r
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	r := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			r.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return r
+}
+
+// Apply returns f applied elementwise to m.
+func (m *Matrix) Apply(f func(float64) float64) *Matrix {
+	r := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		r.Data[i] = f(v)
+	}
+	return r
+}
+
+// Tanh returns tanh applied elementwise.
+func (m *Matrix) Tanh() *Matrix { return m.Apply(math.Tanh) }
+
+// Sigmoid returns the logistic function applied elementwise.
+func (m *Matrix) Sigmoid() *Matrix {
+	return m.Apply(func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
+}
+
+// ReLU returns max(0, x) applied elementwise.
+func (m *Matrix) ReLU() *Matrix {
+	return m.Apply(func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+}
+
+// SoftmaxRows returns row-wise softmax computed with the max-subtraction
+// trick for numerical stability.
+func (m *Matrix) SoftmaxRows() *Matrix {
+	r := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		softmaxInto(r.Row(i), m.Row(i))
+	}
+	return r
+}
+
+func softmaxInto(dst, src []float64) {
+	mx := src[0]
+	for _, v := range src[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	var sum float64
+	for j, v := range src {
+		e := math.Exp(v - mx)
+		dst[j] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for j := range dst {
+		dst[j] *= inv
+	}
+}
+
+// LogSoftmaxRows returns row-wise log-softmax.
+func (m *Matrix) LogSoftmaxRows() *Matrix {
+	r := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		src := m.Row(i)
+		dst := r.Row(i)
+		mx := src[0]
+		for _, v := range src[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for _, v := range src {
+			sum += math.Exp(v - mx)
+		}
+		lse := mx + math.Log(sum)
+		for j, v := range src {
+			dst[j] = v - lse
+		}
+	}
+	return r
+}
+
+// Sum returns the sum of all entries.
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the mean of all entries.
+func (m *Matrix) Mean() float64 { return m.Sum() / float64(len(m.Data)) }
+
+// Norm2 returns the Frobenius norm of m.
+func (m *Matrix) Norm2() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute entry.
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// ArgmaxRow returns the column index of the largest entry in row i.
+func (m *Matrix) ArgmaxRow(i int) int {
+	row := m.Row(i)
+	best := 0
+	for j, v := range row[1:] {
+		if v > row[best] {
+			best = j + 1
+		}
+	}
+	return best
+}
+
+// SliceRows returns a copy of rows [lo, hi).
+func (m *Matrix) SliceRows(lo, hi int) *Matrix {
+	if lo < 0 || hi > m.Rows || lo >= hi {
+		panic(fmt.Sprintf("tensor: SliceRows [%d,%d) out of range for %d rows", lo, hi, m.Rows))
+	}
+	r := New(hi-lo, m.Cols)
+	copy(r.Data, m.Data[lo*m.Cols:hi*m.Cols])
+	return r
+}
+
+// ConcatRows stacks matrices vertically; all must share Cols.
+func ConcatRows(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		panic("tensor: ConcatRows of nothing")
+	}
+	cols := ms[0].Cols
+	rows := 0
+	for _, m := range ms {
+		if m.Cols != cols {
+			panic(fmt.Sprintf("tensor: ConcatRows col mismatch %d vs %d", m.Cols, cols))
+		}
+		rows += m.Rows
+	}
+	r := New(rows, cols)
+	off := 0
+	for _, m := range ms {
+		copy(r.Data[off:], m.Data)
+		off += len(m.Data)
+	}
+	return r
+}
+
+// ConcatCols joins matrices horizontally; all must share Rows.
+func ConcatCols(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		panic("tensor: ConcatCols of nothing")
+	}
+	rows := ms[0].Rows
+	cols := 0
+	for _, m := range ms {
+		if m.Rows != rows {
+			panic(fmt.Sprintf("tensor: ConcatCols row mismatch %d vs %d", m.Rows, rows))
+		}
+		cols += m.Cols
+	}
+	r := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		dst := r.Row(i)
+		off := 0
+		for _, m := range ms {
+			copy(dst[off:], m.Row(i))
+			off += m.Cols
+		}
+	}
+	return r
+}
+
+// Equal reports whether m and o have the same shape and entries within tol.
+func (m *Matrix) Equal(o *Matrix, tol float64) bool {
+	if !m.SameShape(o) {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(v-o.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a small matrix for debugging; large matrices are
+// abbreviated to their shape.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+	}
+	s := fmt.Sprintf("Matrix(%dx%d)[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}

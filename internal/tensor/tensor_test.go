@@ -1,0 +1,300 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapes(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %+v", m)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("New must zero-initialise")
+		}
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	for _, shape := range [][2]int{{0, 1}, {1, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) should panic", shape[0], shape[1])
+				}
+			}()
+			New(shape[0], shape[1])
+		}()
+	}
+}
+
+func TestFromSliceAndFromRows(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if m.At(1, 2) != 6 || m.At(0, 1) != 2 {
+		t.Fatalf("FromSlice indexing wrong: %v", m)
+	}
+	r := FromRows([][]float64{{1, 2}, {3, 4}})
+	if r.At(1, 0) != 3 {
+		t.Fatalf("FromRows wrong: %v", r)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows should panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestAddSubMulScale(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float64{5, 6, 7, 8})
+	if got := a.Add(b); !got.Equal(FromSlice(2, 2, []float64{6, 8, 10, 12}), 0) {
+		t.Errorf("Add: %v", got)
+	}
+	if got := b.Sub(a); !got.Equal(Full(2, 2, 4), 0) {
+		t.Errorf("Sub: %v", got)
+	}
+	if got := a.Mul(b); !got.Equal(FromSlice(2, 2, []float64{5, 12, 21, 32}), 0) {
+		t.Errorf("Mul: %v", got)
+	}
+	if got := a.Scale(2); !got.Equal(FromSlice(2, 2, []float64{2, 4, 6, 8}), 0) {
+		t.Errorf("Scale: %v", got)
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	want := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	if got := a.MatMul(b); !got.Equal(want, 1e-12) {
+		t.Fatalf("MatMul: got %v want %v", got, want)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := Randn(4, 4, 1, rng)
+	if got := a.MatMul(Eye(4)); !got.Equal(a, 1e-12) {
+		t.Fatal("A·I != A")
+	}
+	if got := Eye(4).MatMul(a); !got.Equal(a, 1e-12) {
+		t.Fatal("I·A != A")
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ, and the fused transpose kernels agree with the
+// naive compositions.
+func TestMatMulTransposeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a := Randn(m, k, 1, rng)
+		b := Randn(k, n, 1, rng)
+		ab := a.MatMul(b)
+		if !ab.Transpose().Equal(b.Transpose().MatMul(a.Transpose()), 1e-10) {
+			return false
+		}
+		// Fused kernels.
+		bt := Randn(n, k, 1, rng)
+		if !a.MatMulTransB(bt).Equal(a.MatMul(bt.Transpose()), 1e-10) {
+			return false
+		}
+		at := Randn(k, m, 1, rng)
+		if !at.MatMulTransA(Randn(k, n, 1, rng).Clone()).SameShape(New(m, n)) {
+			return false
+		}
+		c := Randn(k, n, 1, rng)
+		if !at.MatMulTransA(c).Equal(at.Transpose().MatMul(c), 1e-10) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 1000, 1000, 1000})
+	s := m.SoftmaxRows()
+	for i := 0; i < 2; i++ {
+		var sum float64
+		for _, v := range s.Row(i) {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("softmax out of range: %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+	// Large-but-equal logits must give the uniform distribution, not NaN.
+	if math.Abs(s.At(1, 0)-1.0/3) > 1e-12 {
+		t.Fatalf("stability trick failed: %v", s.Row(1))
+	}
+}
+
+func TestLogSoftmaxMatchesSoftmax(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := Randn(4, 7, 3, rng)
+	ls := m.LogSoftmaxRows()
+	s := m.SoftmaxRows()
+	for i, v := range ls.Data {
+		if math.Abs(math.Exp(v)-s.Data[i]) > 1e-10 {
+			t.Fatalf("exp(logsoftmax) != softmax at %d", i)
+		}
+	}
+}
+
+func TestSoftmaxProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := Randn(1+r.Intn(5), 1+r.Intn(8), 5, r)
+		s := m.SoftmaxRows()
+		for i := 0; i < s.Rows; i++ {
+			var sum float64
+			for _, v := range s.Row(i) {
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		// Shift-invariance: softmax(x+c) == softmax(x).
+		c := m.Apply(func(x float64) float64 { return x + 42 }).SoftmaxRows()
+		return c.Equal(s, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcatAndSlice(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := FromSlice(2, 1, []float64{9, 8})
+	c := ConcatCols(a, b)
+	if c.Cols != 3 || c.At(0, 2) != 9 || c.At(1, 2) != 8 {
+		t.Fatalf("ConcatCols: %v", c)
+	}
+	d := ConcatRows(a, FromSlice(1, 2, []float64{7, 7}))
+	if d.Rows != 3 || d.At(2, 0) != 7 {
+		t.Fatalf("ConcatRows: %v", d)
+	}
+	s := d.SliceRows(1, 3)
+	if s.Rows != 2 || s.At(0, 0) != 3 || s.At(1, 1) != 7 {
+		t.Fatalf("SliceRows: %v", s)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := Randn(3, 5, 1, rng)
+	if !m.Transpose().Transpose().Equal(m, 0) {
+		t.Fatal("transpose is not an involution")
+	}
+}
+
+func TestReductions(t *testing.T) {
+	m := FromSlice(2, 2, []float64{1, -2, 3, -4})
+	if m.Sum() != -2 {
+		t.Errorf("Sum: %v", m.Sum())
+	}
+	if m.Mean() != -0.5 {
+		t.Errorf("Mean: %v", m.Mean())
+	}
+	if m.MaxAbs() != 4 {
+		t.Errorf("MaxAbs: %v", m.MaxAbs())
+	}
+	if got := m.Norm2(); math.Abs(got-math.Sqrt(30)) > 1e-12 {
+		t.Errorf("Norm2: %v", got)
+	}
+	if m.ArgmaxRow(0) != 0 || m.ArgmaxRow(1) != 0 {
+		t.Errorf("ArgmaxRow wrong")
+	}
+}
+
+func TestAddRowVector(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	v := FromSlice(1, 3, []float64{10, 20, 30})
+	got := m.AddRowVector(v)
+	want := FromSlice(2, 3, []float64{11, 22, 33, 14, 25, 36})
+	if !got.Equal(want, 0) {
+		t.Fatalf("AddRowVector: %v", got)
+	}
+}
+
+func TestActivations(t *testing.T) {
+	m := FromSlice(1, 3, []float64{-1, 0, 2})
+	if got := m.ReLU(); !got.Equal(FromSlice(1, 3, []float64{0, 0, 2}), 0) {
+		t.Errorf("ReLU: %v", got)
+	}
+	sg := m.Sigmoid()
+	if math.Abs(sg.At(0, 1)-0.5) > 1e-12 {
+		t.Errorf("Sigmoid(0) != 0.5: %v", sg)
+	}
+	th := m.Tanh()
+	if math.Abs(th.At(0, 1)) > 1e-12 || th.At(0, 0) >= 0 || th.At(0, 2) <= 0 {
+		t.Errorf("Tanh: %v", th)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromSlice(1, 2, []float64{1, 2})
+	c := m.Clone()
+	c.Data[0] = 99
+	if m.Data[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestRandnDeterministic(t *testing.T) {
+	a := Randn(2, 2, 1, rand.New(rand.NewSource(7)))
+	b := Randn(2, 2, 1, rand.New(rand.NewSource(7)))
+	if !a.Equal(b, 0) {
+		t.Fatal("Randn not deterministic for fixed seed")
+	}
+}
+
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	// Sizes straddling the parallel threshold must agree exactly (row
+	// partitioning is deterministic: each output row has one owner).
+	rng := rand.New(rand.NewSource(77))
+	for _, n := range []int{8, 64, 90} {
+		a := Randn(n, n, 1, rng)
+		b := Randn(n, n, 1, rng)
+		want := New(n, n)
+		matMulRows(want, a, b, 0, n) // serial reference
+		got := a.MatMul(b)
+		if !got.Equal(want, 0) {
+			t.Fatalf("parallel MatMul diverges at n=%d", n)
+		}
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(64, 64, 1, rng)
+	y := Randn(64, 64, 1, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.MatMul(y)
+	}
+}
+
+func BenchmarkSoftmaxRows(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(128, 128, 1, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.SoftmaxRows()
+	}
+}

@@ -1,0 +1,39 @@
+package textproc_test
+
+import (
+	"fmt"
+	"strings"
+
+	"webbrief/internal/textproc"
+)
+
+// ExampleNormalize shows the paper's §IV-A3 preprocessing: lowercase, digit
+// runs replaced by <digit>, punctuation split into single tokens.
+func ExampleNormalize() {
+	fmt.Println(strings.Join(textproc.Normalize("Price: $40.13 (Hardcover)!"), " "))
+	// Output:
+	// price : $ <digit> . <digit> ( hardcover ) !
+}
+
+// ExampleSplitSentences shows sentence splitting with the decimal-point
+// exception: the "." inside a price never ends a sentence.
+func ExampleSplitSentences() {
+	toks := textproc.Normalize("It costs $40.13 today. Order now!")
+	for _, sent := range textproc.SplitSentences(toks) {
+		fmt.Println(strings.Join(sent, " "))
+	}
+	// Output:
+	// it costs $ <digit> . <digit> today .
+	// order now !
+}
+
+// ExampleWordPiece_TokenizeWord shows greedy longest-match subword
+// splitting with ## continuation marks.
+func ExampleWordPiece_TokenizeWord() {
+	wp := textproc.LearnWordPiece(map[string]int{
+		"book": 50, "books": 30, "shop": 40, "shopping": 25,
+	}, 200)
+	fmt.Println(strings.Join(wp.TokenizeWord("bookshop"), " "))
+	// Output:
+	// books ##hop
+}

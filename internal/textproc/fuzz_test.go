@@ -1,0 +1,68 @@
+package textproc
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzNormalize checks the normaliser's invariants on arbitrary input:
+// no empty tokens, everything lowercase or a special/punctuation token,
+// digit runs always collapsed to <digit>.
+func FuzzNormalize(f *testing.F) {
+	for _, seed := range []string{
+		"Plain words here", "$40.13!", "MIXED case AND 123 numbers",
+		"b2b 42nd a1", "...", "", "   ", "日本語テスト", "a\tb\nc",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := Normalize(s)
+		for _, tok := range toks {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			if tok == DigitToken {
+				continue
+			}
+			for _, r := range tok {
+				if unicode.IsUpper(r) {
+					t.Fatalf("uppercase survived: %q", tok)
+				}
+				if unicode.IsDigit(r) {
+					t.Fatalf("raw digit survived: %q", tok)
+				}
+				if unicode.IsSpace(r) {
+					t.Fatalf("whitespace inside token: %q", tok)
+				}
+			}
+		}
+	})
+}
+
+// FuzzWordPiece checks tokenisation invariants: spans tile the piece
+// sequence exactly, and in-vocabulary decompositions detokenise back to the
+// input word.
+func FuzzWordPiece(f *testing.F) {
+	wp := LearnWordPiece(map[string]int{
+		"book": 50, "books": 30, "shop": 40, "shopping": 25, "the": 100,
+	}, 200)
+	for _, seed := range []string{"book", "bookshop", "unknownword", "th", "s"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, w string) {
+		if strings.ContainsAny(w, " \t\n") || w == "" {
+			t.Skip()
+		}
+		pieces, spans := wp.Tokenize([]string{w})
+		if len(spans) != 1 || spans[0][0] != 0 || spans[0][1] != len(pieces) {
+			t.Fatalf("span does not tile pieces: %v over %d", spans, len(pieces))
+		}
+		if len(pieces) == 1 && pieces[0] == UnkToken {
+			return
+		}
+		if got := Detokenize(pieces); got != w {
+			t.Fatalf("round trip: %q -> %v -> %q", w, pieces, got)
+		}
+	})
+}

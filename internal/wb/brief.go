@@ -1,0 +1,57 @@
+package wb
+
+import (
+	"fmt"
+	"strings"
+
+	"webbrief/internal/ag"
+	"webbrief/internal/eval"
+	"webbrief/internal/textproc"
+)
+
+// Brief is the hierarchical webpage-briefing output of Fig. 1: the broad
+// topic at the top, followed by the extracted key attributes at the finer
+// level. Reading it takes seconds instead of the minutes needed to skim the
+// page — the task's motivation (§I).
+type Brief struct {
+	Topic      []string   // generated topic phrase
+	Attributes [][]string // extracted key attribute values, document order
+	Sections   []int      // predicted informative-section flags per sentence
+}
+
+// MakeBrief runs a trained model on an instance and assembles the
+// hierarchical briefing.
+func MakeBrief(m Model, inst *Instance, v *textproc.Vocab, beamWidth int) *Brief {
+	b := &Brief{}
+	t := ag.NewTape()
+	out := m.Forward(t, inst, Eval)
+	if tags := PredictTags(out); tags != nil {
+		for _, sp := range eval.SpansFromBIO(tags) {
+			var words []string
+			for i := sp.Start; i < sp.End; i++ {
+				words = append(words, v.Token(inst.IDs[i]))
+			}
+			b.Attributes = append(b.Attributes, words)
+		}
+	}
+	b.Sections = PredictSections(out)
+	if ids := GenerateTopic(m, inst, beamWidth, 6); ids != nil {
+		b.Topic = v.Tokens(ids)
+	}
+	return b
+}
+
+// String renders the briefing as the indented hierarchy of Fig. 1.
+func (b *Brief) String() string {
+	var sb strings.Builder
+	sb.WriteString("Webpage Briefing\n")
+	fmt.Fprintf(&sb, "├─ Topic: %s\n", strings.Join(b.Topic, " "))
+	for i, attr := range b.Attributes {
+		marker := "├─"
+		if i == len(b.Attributes)-1 {
+			marker = "└─"
+		}
+		fmt.Fprintf(&sb, "%s Key attribute: %s\n", marker, strings.Join(attr, " "))
+	}
+	return sb.String()
+}

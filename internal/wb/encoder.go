@@ -1,0 +1,94 @@
+package wb
+
+import (
+	"math/rand"
+
+	"webbrief/internal/ag"
+	"webbrief/internal/nn"
+	"webbrief/internal/tensor"
+)
+
+// DocEncoder produces the contextual embeddings every model is built on:
+// token representations C (one row per token) and sentence representations
+// C⁰ (one row per sentence). The three implementations correspond to the
+// paper's embedding regimes (§IV-A6): GloVe (context-independent), MiniBERT
+// (context-dependent) and MiniBERTSUM (context-dependent with per-sentence
+// [CLS] collection and interval segments).
+type DocEncoder interface {
+	nn.Layer
+	// EncodeDoc returns (token reps, sentence reps) for the instance.
+	EncodeDoc(t *ag.Tape, inst *Instance) (tok, sent *ag.Node)
+	// Dim is the width of both representation matrices.
+	Dim() int
+}
+
+// GloVeEncoder wraps fixed-initialised (pre-trained) word vectors. Sentence
+// representations are the mean of the sentence's token embeddings, since a
+// context-independent [CLS] vector carries no information.
+type GloVeEncoder struct {
+	Emb *nn.Embedding
+}
+
+// NewGloVeEncoder builds the encoder around a pre-trained vocab×dim matrix
+// (see embed.TrainGloVe). The matrix is fine-tuned during task training,
+// matching the GloVe→* baselines.
+func NewGloVeEncoder(vectors *tensor.Matrix) *GloVeEncoder {
+	return &GloVeEncoder{Emb: nn.EmbeddingFromMatrix("glove", vectors.Clone())}
+}
+
+// Params implements nn.Layer.
+func (g *GloVeEncoder) Params() []*ag.Param { return g.Emb.Params() }
+
+// Dim implements DocEncoder.
+func (g *GloVeEncoder) Dim() int { return g.Emb.Dim() }
+
+// EncodeDoc implements DocEncoder.
+func (g *GloVeEncoder) EncodeDoc(t *ag.Tape, inst *Instance) (tok, sent *ag.Node) {
+	tok = g.Emb.Forward(t, inst.IDs)
+	sent = t.MatMul(t.Const(meanPoolMatrix(inst)), tok)
+	return tok, sent
+}
+
+// meanPoolMatrix builds the m×l averaging matrix whose row j averages the
+// token positions of sentence j.
+func meanPoolMatrix(inst *Instance) *tensor.Matrix {
+	m := tensor.New(inst.NumSents(), inst.NumTokens())
+	counts := make([]int, inst.NumSents())
+	for _, s := range inst.SentOf {
+		counts[s]++
+	}
+	for i, s := range inst.SentOf {
+		m.Set(s, i, 1/float64(counts[s]))
+	}
+	return m
+}
+
+// BERTEncoder is the MiniBERT regime: a transformer over the flat token
+// stream (windowed past MaxLen), with sentence representations read from the
+// [CLS] positions.
+type BERTEncoder struct {
+	Tr          *nn.Transformer
+	UseSegments bool // BERTSUM's alternating interval segments
+}
+
+// NewBERTEncoder builds a MiniBERT document encoder.
+func NewBERTEncoder(name string, cfg nn.TransformerConfig, useSegments bool, rng *rand.Rand) *BERTEncoder {
+	return &BERTEncoder{Tr: nn.NewTransformer(name, cfg, rng), UseSegments: useSegments}
+}
+
+// Params implements nn.Layer.
+func (b *BERTEncoder) Params() []*ag.Param { return b.Tr.Params() }
+
+// Dim implements DocEncoder.
+func (b *BERTEncoder) Dim() int { return b.Tr.Config.Dim }
+
+// EncodeDoc implements DocEncoder.
+func (b *BERTEncoder) EncodeDoc(t *ag.Tape, inst *Instance) (tok, sent *ag.Node) {
+	var segs []int
+	if b.UseSegments {
+		segs = inst.Segments
+	}
+	tok = b.Tr.EncodeWindows(t, inst.IDs, segs)
+	sent = t.GatherRows(tok, inst.ClsIdx)
+	return tok, sent
+}

@@ -1,0 +1,40 @@
+package wb
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelInstances runs fn over instance indices concurrently. It is safe
+// for evaluation-mode forwards: an Eval pass reads shared parameter values
+// but never writes them (no dropout, no gradients, fresh tape per call), so
+// instances are independent. Each index writes only its own result slot,
+// keeping results deterministic regardless of scheduling.
+func parallelInstances(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,76 @@
+package wb
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"webbrief/internal/nn"
+	"webbrief/internal/tensor"
+	"webbrief/internal/textproc"
+)
+
+// bundleHeader describes a saved Joint-WB model so it can be reconstructed
+// before its parameters are loaded.
+type bundleHeader struct {
+	Magic    string
+	Vocab    []string
+	EmbDim   int
+	Hidden   int
+	TopicLen int
+	BeamSize int
+}
+
+const bundleMagic = "webbrief-jointwb-v1"
+
+// SaveJointWB serialises a GloVe-encoder Joint-WB model together with its
+// vocabulary so cmd/wbrief can brief new pages without retraining.
+func SaveJointWB(w io.Writer, m *JointWB, v *textproc.Vocab) error {
+	enc, ok := m.Enc.(*GloVeEncoder)
+	if !ok {
+		return fmt.Errorf("wb: SaveJointWB supports GloVe-encoder models, got %T", m.Enc)
+	}
+	tokens := make([]string, v.Size())
+	for i := range tokens {
+		tokens[i] = v.Token(i)
+	}
+	hdr := bundleHeader{
+		Magic:    bundleMagic,
+		Vocab:    tokens,
+		EmbDim:   enc.Dim(),
+		Hidden:   m.Cfg.Hidden,
+		TopicLen: m.Cfg.TopicLen,
+		BeamSize: m.Cfg.BeamSize,
+	}
+	enc2 := gob.NewEncoder(w)
+	if err := enc2.Encode(hdr); err != nil {
+		return fmt.Errorf("wb: encode header: %w", err)
+	}
+	return nn.EncodeParams(enc2, m)
+}
+
+// LoadJointWB reconstructs a model saved by SaveJointWB.
+func LoadJointWB(r io.Reader) (*JointWB, *textproc.Vocab, error) {
+	dec := gob.NewDecoder(r)
+	var hdr bundleHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, nil, fmt.Errorf("wb: decode header: %w", err)
+	}
+	if hdr.Magic != bundleMagic {
+		return nil, nil, fmt.Errorf("wb: not a webbrief model bundle (magic %q)", hdr.Magic)
+	}
+	v := textproc.NewVocab()
+	for _, tok := range hdr.Vocab {
+		v.Add(tok)
+	}
+	if v.Size() != len(hdr.Vocab) {
+		return nil, nil, fmt.Errorf("wb: bundle vocabulary has duplicates")
+	}
+	enc := NewGloVeEncoder(tensor.New(v.Size(), hdr.EmbDim))
+	cfg := Config{Hidden: hdr.Hidden, TopicLen: hdr.TopicLen, BeamSize: hdr.BeamSize, Seed: 1}
+	m := NewJointWB("Joint-WB", enc, v.Size(), cfg)
+	if err := nn.DecodeParams(dec, m); err != nil {
+		return nil, nil, err
+	}
+	return m, v, nil
+}

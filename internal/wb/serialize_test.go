@@ -1,0 +1,75 @@
+package wb
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadJointWBRoundTrip(t *testing.T) {
+	insts, v := testData(t, 2, 2)
+	m := newTestJointWB(v, 42)
+	tc := DefaultTrainConfig()
+	tc.Epochs = 2
+	TrainModel(m, insts, tc)
+
+	var buf bytes.Buffer
+	if err := SaveJointWB(&buf, m, v); err != nil {
+		t.Fatal(err)
+	}
+	m2, v2, err := LoadJointWB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Size() != v.Size() {
+		t.Fatalf("vocab size %d vs %d", v2.Size(), v.Size())
+	}
+	// The loaded model must reproduce the original's predictions exactly.
+	for _, inst := range insts[:2] {
+		got := GenerateTopic(m2, inst, 1, 4)
+		want := GenerateTopic(m, inst, 1, 4)
+		if len(got) != len(want) {
+			t.Fatalf("decode mismatch: %v vs %v", got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("decode mismatch: %v vs %v", got, want)
+			}
+		}
+	}
+}
+
+func TestLoadJointWBRejectsGarbage(t *testing.T) {
+	if _, _, err := LoadJointWB(bytes.NewReader([]byte("not a bundle"))); err == nil {
+		t.Fatal("garbage must not load")
+	}
+}
+
+func TestInstanceFromHTMLPipeline(t *testing.T) {
+	_, v := testData(t, 1, 1)
+	html := `<html><body><nav><div>home about contact help</div></nav>
+	<main><h1>book shopping here</h1><div>price : $ 42 . 13</div></main></body></html>`
+	inst := InstanceFromHTML(html, v, 0)
+	if inst.NumSents() != 3 {
+		t.Fatalf("sentences: %d", inst.NumSents())
+	}
+	if inst.NumTokens() != len(inst.Tags) || inst.NumTokens() != len(inst.SentOf) {
+		t.Fatal("parallel arrays")
+	}
+	// Known words resolve; unknown ones map to UNK without panicking.
+	inst2 := InstanceFromHTML("<p>zzzunknownzzz</p>", v, 0)
+	if inst2.NumSents() != 1 {
+		t.Fatal("single unknown sentence")
+	}
+}
+
+func TestInstanceFromSentencesTruncation(t *testing.T) {
+	_, v := testData(t, 1, 1)
+	sents := [][]string{{"home", "about"}, {"price", ":", "book"}}
+	inst := InstanceFromSentences(sents, v, 4)
+	if inst.NumTokens() != 4 {
+		t.Fatalf("truncated to %d", inst.NumTokens())
+	}
+	if len(inst.SentInfo) != inst.SentOf[3]+1 {
+		t.Fatal("sentence labels inconsistent after truncation")
+	}
+}

@@ -1,0 +1,74 @@
+package wb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"webbrief/internal/textproc"
+)
+
+// Briefer wraps a trained model and vocabulary behind a concurrency-safe
+// briefing API — the operational form §I motivates ("the functionality of
+// WB may be added to web browsers"). Eval-mode forwards only read model
+// parameters, but a mutex still serialises calls so the type stays safe
+// even if a caller swaps in a model whose Forward keeps internal state.
+type Briefer struct {
+	mu        sync.Mutex
+	model     Model
+	vocab     *textproc.Vocab
+	beamWidth int
+	maxTokens int
+}
+
+// NewBriefer wraps model+vocab. beamWidth ≤ 1 decodes greedily; maxTokens
+// > 0 truncates long documents before encoding.
+func NewBriefer(model Model, vocab *textproc.Vocab, beamWidth, maxTokens int) *Briefer {
+	return &Briefer{model: model, vocab: vocab, beamWidth: beamWidth, maxTokens: maxTokens}
+}
+
+// BriefHTML runs the full pipeline on raw markup and returns the
+// hierarchical briefing. It errors when the page has no visible text.
+func (b *Briefer) BriefHTML(html string) (*Brief, error) {
+	inst := InstanceFromHTML(html, b.vocab, b.maxTokens)
+	if inst.NumSents() == 0 {
+		return nil, fmt.Errorf("wb: no visible text in page")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return MakeBrief(b.model, inst, b.vocab, b.beamWidth), nil
+}
+
+// maxRequestBytes bounds a briefing request body (webpages beyond this are
+// truncated by the pipeline anyway).
+const maxRequestBytes = 4 << 20
+
+// ServeHTTP implements http.Handler: POST a page's HTML as the request
+// body, receive the briefing as JSON. Mount it wherever a briefing
+// endpoint is needed:
+//
+//	http.Handle("/brief", briefer)
+func (b *Briefer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST the page HTML as the request body", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	brief, err := b.BriefHTML(string(body))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(brief); err != nil {
+		// Headers are already out; nothing more to do than drop the
+		// connection, which the server does for us.
+		return
+	}
+}

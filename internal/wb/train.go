@@ -1,0 +1,219 @@
+package wb
+
+import (
+	"math"
+	"math/rand"
+
+	"webbrief/internal/ag"
+	"webbrief/internal/eval"
+	"webbrief/internal/opt"
+	"webbrief/internal/textproc"
+)
+
+// TrainConfig controls supervised training of any Model.
+type TrainConfig struct {
+	Epochs     int
+	LR         float64
+	Clip       float64 // max gradient norm (paper: 0.1 clipping)
+	Warmup     int     // linear warmup steps (paper: 2000, scaled here)
+	DecayRate  float64 // multiplicative LR decay (paper: 0.1); 0 disables
+	DecayEvery int     // steps between decays; 0 disables
+	BatchSize  int     // gradient-accumulation batch (paper: 16 / 4); ≤1 = per example
+	Seed       int64
+}
+
+// DefaultTrainConfig returns the paper's optimizer setting scaled to the
+// corpus: Adam β1=0.9 β2=0.999, gradient clipping, linear warmup.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 3, LR: 5e-3, Clip: 1.0, Warmup: 50, Seed: 1}
+}
+
+// TrainModel trains m on insts by per-example Adam steps and returns the
+// mean training loss of each epoch. Page order is reshuffled every epoch
+// with the config seed.
+func TrainModel(m Model, insts []*Instance, tc TrainConfig) []float64 {
+	optim := newOptimizer(m, tc)
+	rng := rand.New(rand.NewSource(tc.Seed))
+	order := make([]int, len(insts))
+	for i := range order {
+		order[i] = i
+	}
+	batch := tc.BatchSize
+	if batch < 1 {
+		batch = 1
+	}
+	var losses []float64
+	for epoch := 0; epoch < tc.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var sum float64
+		pending := 0
+		for _, idx := range order {
+			inst := insts[idx]
+			t := ag.NewTape()
+			out := m.Forward(t, inst, Train)
+			loss := Loss(t, out, inst)
+			sum += loss.Value.Data[0]
+			// Gradient accumulation: average the batch by scaling each
+			// example's loss before Backward, then one Adam step per batch.
+			t.Backward(t.Scale(loss, 1/float64(batch)))
+			pending++
+			if pending == batch {
+				optim.Step()
+				pending = 0
+			}
+		}
+		if pending > 0 {
+			optim.Step()
+		}
+		losses = append(losses, sum/float64(len(insts)))
+	}
+	return losses
+}
+
+// newOptimizer builds the Adam optimizer from a training configuration:
+// the paper's warmup-then-decay schedule with global-norm clipping.
+func newOptimizer(m Model, tc TrainConfig) *opt.Adam {
+	optim := opt.NewAdam(m.Params(), tc.LR)
+	optim.Clip = tc.Clip
+	if tc.Warmup > 0 || tc.DecayEvery > 0 {
+		optim.Schedule = opt.WarmupDecay{
+			WarmupSteps: tc.Warmup,
+			DecayRate:   tc.DecayRate,
+			DecayEvery:  tc.DecayEvery,
+		}
+	}
+	return optim
+}
+
+// DevLoss computes the mean supervised loss on a development set without
+// updating parameters — the convergence signal for early stopping.
+func DevLoss(m Model, insts []*Instance) float64 {
+	if len(insts) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, inst := range insts {
+		t := ag.NewTape()
+		out := m.Forward(t, inst, Distill) // teacher forcing, no dropout
+		sum += Loss(t, out, inst).Value.Data[0]
+	}
+	return sum / float64(len(insts))
+}
+
+// TrainModelEarlyStop trains like TrainModel but evaluates the development
+// loss after every epoch and stops once it has not improved for patience
+// consecutive epochs — the paper's early-stopping protocol (§IV-A5:
+// "training is early stopped once convergence is determined on the
+// development dataset"). It returns the per-epoch training losses and the
+// number of epochs actually run.
+func TrainModelEarlyStop(m Model, train, dev []*Instance, tc TrainConfig, patience int) (losses []float64, epochs int) {
+	optim := newOptimizer(m, tc)
+	rng := rand.New(rand.NewSource(tc.Seed))
+	order := make([]int, len(train))
+	for i := range order {
+		order[i] = i
+	}
+	best := math.Inf(1)
+	bad := 0
+	for epoch := 0; epoch < tc.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var sum float64
+		for _, idx := range order {
+			inst := train[idx]
+			t := ag.NewTape()
+			out := m.Forward(t, inst, Train)
+			loss := Loss(t, out, inst)
+			sum += loss.Value.Data[0]
+			t.Backward(loss)
+			optim.Step()
+		}
+		losses = append(losses, sum/float64(len(train)))
+		epochs = epoch + 1
+		dl := DevLoss(m, dev)
+		if dl < best-1e-6 {
+			best = dl
+			bad = 0
+		} else {
+			bad++
+			if bad >= patience {
+				break
+			}
+		}
+	}
+	return losses, epochs
+}
+
+// EvaluateExtraction scores m's attribute extraction on insts with strict
+// span P/R/F1 (§IV-A4). Models without an extraction head score zero.
+func EvaluateExtraction(m Model, insts []*Instance) eval.PRF1 {
+	pred := make([][]eval.Span, len(insts))
+	gold := make([][]eval.Span, len(insts))
+	parallelInstances(len(insts), func(i int) {
+		t := ag.NewTape()
+		out := m.Forward(t, insts[i], Eval)
+		pred[i] = eval.SpansFromBIO(PredictTags(out))
+		gold[i] = eval.SpansFromBIO(insts[i].Tags)
+	})
+	return eval.SpanPRF1(pred, gold)
+}
+
+// ExtractionCorrect returns, per instance, whether the model's extraction
+// was fully correct (all spans exact) — the paired-outcome input for
+// McNemar's test.
+func ExtractionCorrect(m Model, insts []*Instance) []bool {
+	out := make([]bool, len(insts))
+	for i, inst := range insts {
+		t := ag.NewTape()
+		o := m.Forward(t, inst, Eval)
+		p := eval.SpansFromBIO(PredictTags(o))
+		g := eval.SpansFromBIO(inst.Tags)
+		r := eval.SpanPRF1([][]eval.Span{p}, [][]eval.Span{g})
+		out[i] = r.F1 == 100
+	}
+	return out
+}
+
+// GeneratedTopics decodes the topic phrase for each instance and returns the
+// generated and gold token strings side by side.
+func GeneratedTopics(m Model, insts []*Instance, v *textproc.Vocab, beamWidth, maxLen int) (gen, gold [][]string) {
+	gen = make([][]string, len(insts))
+	gold = make([][]string, len(insts))
+	parallelInstances(len(insts), func(i int) {
+		ids := GenerateTopic(m, insts[i], beamWidth, maxLen)
+		gen[i] = v.Tokens(ids)
+		gold[i] = insts[i].Topic
+	})
+	return gen, gold
+}
+
+// EvaluateTopics scores topic generation with EM and RM (§IV-A4).
+func EvaluateTopics(m Model, insts []*Instance, v *textproc.Vocab, beamWidth, maxLen int) (em, rm float64) {
+	gen, gold := GeneratedTopics(m, insts, v, beamWidth, maxLen)
+	return eval.TopicScores(gen, gold)
+}
+
+// TopicCorrect returns per-instance exact-match outcomes for McNemar pairing.
+func TopicCorrect(m Model, insts []*Instance, v *textproc.Vocab, beamWidth, maxLen int) []bool {
+	gen, gold := GeneratedTopics(m, insts, v, beamWidth, maxLen)
+	out := make([]bool, len(gen))
+	for i := range gen {
+		out[i] = eval.ExactMatch(gen[i], gold[i])
+	}
+	return out
+}
+
+// EvaluateSections scores informative-section prediction accuracy (%).
+func EvaluateSections(m Model, insts []*Instance) float64 {
+	var pred, gold []int
+	for _, inst := range insts {
+		t := ag.NewTape()
+		out := m.Forward(t, inst, Eval)
+		p := PredictSections(out)
+		if p == nil {
+			return 0
+		}
+		pred = append(pred, p...)
+		gold = append(gold, inst.SentInfo...)
+	}
+	return eval.Accuracy(pred, gold)
+}

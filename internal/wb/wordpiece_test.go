@@ -1,0 +1,95 @@
+package wb
+
+import (
+	"testing"
+
+	"webbrief/internal/corpus"
+	"webbrief/internal/eval"
+	"webbrief/internal/textproc"
+)
+
+func wpData(t testing.TB) ([]*corpus.Page, *textproc.WordPiece) {
+	t.Helper()
+	ds, err := corpus.Generate(corpus.Config{Seed: 1, PagesPerDomain: 3, SeenDomains: 3, UnseenDomains: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Pages, LearnCorpusWordPiece(ds.Pages, 600)
+}
+
+func TestInstanceWPParallelArrays(t *testing.T) {
+	pages, wp := wpData(t)
+	inst := NewInstanceWP(pages[0], wp, 0)
+	if len(inst.IDs) != len(inst.Tags) || len(inst.IDs) != len(inst.SentOf) || len(inst.IDs) != len(inst.Segments) {
+		t.Fatal("parallel arrays out of sync")
+	}
+	if inst.NumSents() != len(pages[0].Sentences) {
+		t.Fatal("sentence count")
+	}
+	// Subword streams are at least as long as word streams.
+	word := NewInstance(pages[0], corpus.BuildVocab(pages), 0)
+	if inst.NumTokens() < word.NumTokens() {
+		t.Fatalf("subword stream shorter than word stream: %d < %d", inst.NumTokens(), word.NumTokens())
+	}
+}
+
+func TestInstanceWPSpanProjection(t *testing.T) {
+	pages, wp := wpData(t)
+	v := wp.Vocab()
+	for _, p := range pages {
+		inst := NewInstanceWP(p, wp, 0)
+		spans := eval.SpansFromBIO(inst.Tags)
+		attrs := p.Attributes()
+		if len(spans) != len(attrs) {
+			t.Fatalf("%s: %d subword spans for %d attributes", p.ID, len(spans), len(attrs))
+		}
+		for i, sp := range spans {
+			// Detokenising the span's pieces must reproduce the attribute
+			// value words.
+			var pieces []string
+			for j := sp.Start; j < sp.End; j++ {
+				pieces = append(pieces, v.Token(inst.IDs[j]))
+			}
+			got := textproc.Detokenize(pieces)
+			want := textproc.Detokenize(attrs[i].Value) // values are words; Detokenize joins with spaces
+			if got != want {
+				t.Fatalf("%s span %d: %q != %q", p.ID, i, got, want)
+			}
+		}
+	}
+}
+
+func TestInstanceWPTopicTargets(t *testing.T) {
+	pages, wp := wpData(t)
+	inst := NewInstanceWP(pages[0], wp, 0)
+	if inst.TopicIn[0] != textproc.BosID || inst.TopicOut[len(inst.TopicOut)-1] != textproc.EosID {
+		t.Fatal("BOS/EOS framing")
+	}
+	if len(inst.TopicIn) != len(inst.TopicOut) {
+		t.Fatal("teacher-forcing alignment")
+	}
+}
+
+func TestInstanceWPTruncation(t *testing.T) {
+	pages, wp := wpData(t)
+	inst := NewInstanceWP(pages[0], wp, 12)
+	if inst.NumTokens() != 12 {
+		t.Fatalf("truncated to %d", inst.NumTokens())
+	}
+	if len(inst.SentInfo) != inst.SentOf[11]+1 {
+		t.Fatal("sentence labels inconsistent")
+	}
+}
+
+// A model must train end-to-end on subword instances without modification.
+func TestModelRunsOnSubwordInstances(t *testing.T) {
+	pages, wp := wpData(t)
+	insts := NewInstancesWP(pages, wp, 0)
+	m := newTestJointWB(wp.Vocab(), 31)
+	tc := DefaultTrainConfig()
+	tc.Epochs = 2
+	losses := TrainModel(m, insts, tc)
+	if losses[1] >= losses[0] {
+		t.Fatalf("subword training loss not decreasing: %v", losses)
+	}
+}
