@@ -129,6 +129,39 @@ func BenchmarkTeacherEpoch(b *testing.B) {
 	}
 }
 
+// teacherEpochBench times one Joint-WB training epoch under the given
+// batching/worker configuration — the knobs of the data-parallel engine.
+func teacherEpochBench(b *testing.B, batchSize, workers int) {
+	ds, err := corpus.Generate(corpus.Config{Seed: 1, PagesPerDomain: 2, SeenDomains: 3, UnseenDomains: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := corpus.BuildVocab(ds.Pages)
+	insts := wb.NewInstances(ds.Pages, v, 0)
+	enc := wb.NewGloVeEncoder(tensor.Randn(v.Size(), 16, 0.1, rand.New(rand.NewSource(1))))
+	cfg := wb.DefaultConfig()
+	cfg.Hidden = 16
+	m := wb.NewJointWB("bench", enc, v.Size(), cfg)
+	tc := wb.DefaultTrainConfig()
+	tc.Epochs = 1
+	tc.BatchSize = batchSize
+	tc.Workers = workers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wb.TrainModel(m, insts, tc)
+	}
+}
+
+// BenchmarkTeacherEpochBatched is the sequential reference with
+// gradient-accumulation batches of 8 on the arena-tape engine.
+func BenchmarkTeacherEpochBatched(b *testing.B) { teacherEpochBench(b, 8, 1) }
+
+// BenchmarkTeacherEpochParallel is the same workload fanned across
+// GOMAXPROCS workers (Workers: 0) — compare against Batched for the
+// data-parallel speedup on multi-core machines.
+func BenchmarkTeacherEpochParallel(b *testing.B) { teacherEpochBench(b, 8, 0) }
+
 // BenchmarkAttrNames regenerates the attribute-name prediction extension
 // (§V future work).
 func BenchmarkAttrNames(b *testing.B) { benchTable(b, "names") }

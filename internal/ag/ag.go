@@ -11,14 +11,23 @@
 //
 // Model parameters live outside any tape as *Param values; Tape.Use enters a
 // parameter into the current tape so that Backward accumulates into
-// Param.Grad. This lets a training step build a fresh tape per example while
-// parameters (and their Adam state) persist across steps.
+// Param.Grad — or, when a GradSink is attached with SetSink, into the sink's
+// per-tape gradient shard. Sinks are what make data-parallel training
+// deterministic: each worker's tape accumulates privately and the shards are
+// merged in a fixed order.
+//
+// Tapes come in two allocation regimes. NewTape builds every intermediate on
+// the heap; its values may outlive the tape. NewArenaTape draws nodes,
+// values and gradients from reusable arenas: after Reset the same memory
+// backs the next step's graph, so steady-state training does near-zero heap
+// allocation per step. Nothing recorded before a Reset may be used after it.
 package ag
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"webbrief/internal/tensor"
 )
@@ -28,6 +37,7 @@ type Node struct {
 	Value *tensor.Matrix
 	Grad  *tensor.Matrix // allocated lazily on first gradient contribution
 	back  func()         // propagates n.Grad into parents; nil for leaves
+	t     *Tape          // owning tape, for arena-backed gradient buffers
 }
 
 // Rows returns the row count of the node's value.
@@ -38,7 +48,11 @@ func (n *Node) Cols() int { return n.Value.Cols }
 
 func (n *Node) grad() *tensor.Matrix {
 	if n.Grad == nil {
-		n.Grad = tensor.New(n.Value.Rows, n.Value.Cols)
+		if n.t != nil {
+			n.Grad = n.t.alloc(n.Value.Rows, n.Value.Cols)
+		} else {
+			n.Grad = tensor.New(n.Value.Rows, n.Value.Cols)
+		}
 	}
 	return n.Grad
 }
@@ -62,37 +76,137 @@ func NewParam(name string, v *tensor.Matrix) *Param {
 // ZeroGrad clears the accumulated gradient.
 func (p *Param) ZeroGrad() { p.Grad.Zero() }
 
+// nodeBlock is how many Node structs each tape-owned block holds. Blocks are
+// never reallocated, so *Node pointers stay valid across appends.
+const nodeBlock = 256
+
 // Tape records operations for reverse-mode differentiation.
 type Tape struct {
 	nodes []*Node
+
+	blocks  [][]Node // node arena; reused across Reset
+	blk     int
+	blkOff  int
+	arena   *tensor.Arena // nil: plain heap allocation
+	sink    *GradSink     // nil: Use accumulates into Param.Grad
+	rng     *rand.Rand    // nil: Dropout uses the caller-provided rng
 }
 
-// NewTape returns an empty tape.
+// NewTape returns an empty heap-allocating tape. Values recorded on it may
+// outlive the tape itself.
 func NewTape() *Tape { return &Tape{} }
+
+// NewArenaTape returns a tape whose nodes, intermediate values and gradient
+// buffers are drawn from a private reusable arena. Call Reset between steps
+// to reuse the memory; nothing recorded before a Reset may be referenced
+// after it.
+func NewArenaTape() *Tape { return &Tape{arena: tensor.NewArena()} }
+
+// Reset clears the tape for reuse, rewinding the node and matrix arenas.
+// The attached sink and rng are kept; recorded nodes become invalid.
+func (t *Tape) Reset() {
+	t.nodes = t.nodes[:0]
+	t.blk, t.blkOff = 0, 0
+	if t.arena != nil {
+		t.arena.Reset()
+	}
+}
+
+// SetSink redirects parameter-gradient accumulation on this tape into s
+// (nil restores direct accumulation into Param.Grad). Parallel training
+// attaches one sink per worker so Backward never touches shared state.
+func (t *Tape) SetSink(s *GradSink) { t.sink = s }
+
+// SetRand overrides the rng used by Dropout on this tape (nil restores the
+// caller-provided rng). The training engine seeds this per example so that
+// dropout masks are a function of (seed, epoch, position) alone — identical
+// regardless of how examples are scheduled across workers.
+func (t *Tape) SetRand(rng *rand.Rand) { t.rng = rng }
 
 // Len reports the number of recorded nodes, exported for tests and
 // capacity diagnostics.
 func (t *Tape) Len() int { return len(t.nodes) }
 
-func (t *Tape) record(n *Node) *Node {
+// newNode allocates a fresh node from the tape's block arena and records it.
+func (t *Tape) newNode(v *tensor.Matrix) *Node {
+	if t.blk == len(t.blocks) {
+		t.blocks = append(t.blocks, make([]Node, nodeBlock))
+	}
+	blk := t.blocks[t.blk]
+	n := &blk[t.blkOff]
+	t.blkOff++
+	if t.blkOff == len(blk) {
+		t.blk++
+		t.blkOff = 0
+	}
+	n.Value, n.Grad, n.back, n.t = v, nil, nil, t
 	t.nodes = append(t.nodes, n)
 	return n
 }
 
-// Const enters a constant matrix into the graph. No gradient flows into it.
-func (t *Tape) Const(v *tensor.Matrix) *Node {
-	return t.record(&Node{Value: v})
+// alloc returns a zeroed matrix from the tape's arena, or the heap for
+// plain tapes.
+func (t *Tape) alloc(rows, cols int) *tensor.Matrix {
+	if t.arena != nil {
+		return t.arena.Alloc(rows, cols)
+	}
+	return tensor.New(rows, cols)
 }
 
-// Use enters parameter p into the graph; Backward accumulates into p.Grad.
+// scalar returns a recorded 1×1 node holding v.
+func (t *Tape) scalar(v float64) *Node {
+	m := t.alloc(1, 1)
+	m.Data[0] = v
+	return t.newNode(m)
+}
+
+// floats returns a zeroed scratch slice from the tape's arena.
+func (t *Tape) floats(n int) []float64 {
+	if t.arena != nil {
+		return t.arena.AllocFloats(n)
+	}
+	return make([]float64, n)
+}
+
+// tapePool recycles arena tapes for transient forwards (evaluation loops,
+// single briefs) so they too run allocation-free in the steady state.
+var tapePool = sync.Pool{New: func() any { return NewArenaTape() }}
+
+// GetTape returns a reset arena tape from the shared pool. The caller must
+// not retain any node or matrix recorded on it past PutTape.
+func GetTape() *Tape {
+	t := tapePool.Get().(*Tape)
+	t.Reset()
+	return t
+}
+
+// PutTape returns a pooled tape. Sink and rng attachments are dropped.
+func PutTape(t *Tape) {
+	t.sink = nil
+	t.rng = nil
+	tapePool.Put(t)
+}
+
+// Const enters a constant matrix into the graph. No gradient flows into it.
+func (t *Tape) Const(v *tensor.Matrix) *Node {
+	return t.newNode(v)
+}
+
+// Use enters parameter p into the graph; Backward accumulates into p.Grad,
+// or into the tape's sink when one is attached.
 func (t *Tape) Use(p *Param) *Node {
-	n := &Node{Value: p.Value}
+	n := t.newNode(p.Value)
 	n.back = func() {
-		if n.Grad != nil {
+		if n.Grad == nil {
+			return
+		}
+		if t.sink != nil {
+			t.sink.Grad(p).AddInPlace(n.Grad)
+		} else {
 			p.Grad.AddInPlace(n.Grad)
 		}
 	}
-	return t.record(n)
+	return n
 }
 
 // Backward runs reverse-mode accumulation from loss, which must be a 1×1
@@ -114,66 +228,89 @@ func (t *Tape) Backward(loss *Node) {
 
 // Add returns a + b (same shape).
 func (t *Tape) Add(a, b *Node) *Node {
-	n := &Node{Value: a.Value.Add(b.Value)}
+	v := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.AddInto(v, a.Value, b.Value)
+	n := t.newNode(v)
 	n.back = func() {
 		a.addGrad(n.Grad)
 		b.addGrad(n.Grad)
 	}
-	return t.record(n)
+	return n
 }
 
 // Sub returns a - b.
 func (t *Tape) Sub(a, b *Node) *Node {
-	n := &Node{Value: a.Value.Sub(b.Value)}
+	v := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.SubInto(v, a.Value, b.Value)
+	n := t.newNode(v)
 	n.back = func() {
 		a.addGrad(n.Grad)
 		b.grad().AddScaledInPlace(n.Grad, -1)
 	}
-	return t.record(n)
+	return n
 }
 
 // Mul returns the elementwise product a ⊙ b.
 func (t *Tape) Mul(a, b *Node) *Node {
-	n := &Node{Value: a.Value.Mul(b.Value)}
+	v := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.MulInto(v, a.Value, b.Value)
+	n := t.newNode(v)
 	n.back = func() {
-		a.grad().AddInPlace(n.Grad.Mul(b.Value))
-		b.grad().AddInPlace(n.Grad.Mul(a.Value))
+		ga := a.grad()
+		gb := b.grad()
+		for i, d := range n.Grad.Data {
+			ga.Data[i] += d * b.Value.Data[i]
+			gb.Data[i] += d * a.Value.Data[i]
+		}
 	}
-	return t.record(n)
+	return n
 }
 
 // Scale returns s*a for a fixed scalar s.
 func (t *Tape) Scale(a *Node, s float64) *Node {
-	n := &Node{Value: a.Value.Scale(s)}
+	v := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.ScaleInto(v, a.Value, s)
+	n := t.newNode(v)
 	n.back = func() { a.grad().AddScaledInPlace(n.Grad, s) }
-	return t.record(n)
+	return n
 }
 
 // MatMul returns a·b.
 func (t *Tape) MatMul(a, b *Node) *Node {
-	n := &Node{Value: a.Value.MatMul(b.Value)}
+	v := t.alloc(a.Value.Rows, b.Value.Cols)
+	tensor.MatMulInto(v, a.Value, b.Value)
+	n := t.newNode(v)
 	n.back = func() {
 		// dA = dC·Bᵀ ; dB = Aᵀ·dC
-		a.grad().AddInPlace(n.Grad.MatMulTransB(b.Value))
-		b.grad().AddInPlace(a.Value.MatMulTransA(n.Grad))
+		ga := t.alloc(a.Value.Rows, a.Value.Cols)
+		tensor.MatMulTransBInto(ga, n.Grad, b.Value)
+		a.addGrad(ga)
+		gb := b.grad()
+		tensor.MatMulTransAInto(gb, a.Value, n.Grad)
 	}
-	return t.record(n)
+	return n
 }
 
 // MatMulTransB returns a·bᵀ.
 func (t *Tape) MatMulTransB(a, b *Node) *Node {
-	n := &Node{Value: a.Value.MatMulTransB(b.Value)}
+	v := t.alloc(a.Value.Rows, b.Value.Rows)
+	tensor.MatMulTransBInto(v, a.Value, b.Value)
+	n := t.newNode(v)
 	n.back = func() {
 		// C = A·Bᵀ: dA = dC·B ; dB = dCᵀ·A
-		a.grad().AddInPlace(n.Grad.MatMul(b.Value))
-		b.grad().AddInPlace(n.Grad.MatMulTransA(a.Value))
+		ga := a.grad()
+		tensor.MatMulInto(ga, n.Grad, b.Value)
+		gb := b.grad()
+		tensor.MatMulTransAInto(gb, n.Grad, a.Value)
 	}
-	return t.record(n)
+	return n
 }
 
 // AddRowVector adds the 1×cols vector v to every row of a.
 func (t *Tape) AddRowVector(a, v *Node) *Node {
-	n := &Node{Value: a.Value.AddRowVector(v.Value)}
+	val := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.AddRowVectorInto(val, a.Value, v.Value)
+	n := t.newNode(val)
 	n.back = func() {
 		a.addGrad(n.Grad)
 		g := v.grad()
@@ -184,41 +321,44 @@ func (t *Tape) AddRowVector(a, v *Node) *Node {
 			}
 		}
 	}
-	return t.record(n)
+	return n
 }
 
 // --- Nonlinearities -------------------------------------------------------
 
 // Tanh applies tanh elementwise.
 func (t *Tape) Tanh(a *Node) *Node {
-	val := a.Value.Tanh()
-	n := &Node{Value: val}
+	val := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.TanhInto(val, a.Value)
+	n := t.newNode(val)
 	n.back = func() {
 		g := a.grad()
 		for i, y := range val.Data {
 			g.Data[i] += n.Grad.Data[i] * (1 - y*y)
 		}
 	}
-	return t.record(n)
+	return n
 }
 
 // Sigmoid applies the logistic function elementwise.
 func (t *Tape) Sigmoid(a *Node) *Node {
-	val := a.Value.Sigmoid()
-	n := &Node{Value: val}
+	val := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.SigmoidInto(val, a.Value)
+	n := t.newNode(val)
 	n.back = func() {
 		g := a.grad()
 		for i, y := range val.Data {
 			g.Data[i] += n.Grad.Data[i] * y * (1 - y)
 		}
 	}
-	return t.record(n)
+	return n
 }
 
 // ReLU applies max(0,x) elementwise.
 func (t *Tape) ReLU(a *Node) *Node {
-	val := a.Value.ReLU()
-	n := &Node{Value: val}
+	val := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.ReLUInto(val, a.Value)
+	n := t.newNode(val)
 	n.back = func() {
 		g := a.grad()
 		for i := range val.Data {
@@ -227,13 +367,14 @@ func (t *Tape) ReLU(a *Node) *Node {
 			}
 		}
 	}
-	return t.record(n)
+	return n
 }
 
 // SoftmaxRows applies row-wise softmax.
 func (t *Tape) SoftmaxRows(a *Node) *Node {
-	val := a.Value.SoftmaxRows()
-	n := &Node{Value: val}
+	val := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.SoftmaxRowsInto(val, a.Value)
+	n := t.newNode(val)
 	n.back = func() {
 		g := a.grad()
 		for i := 0; i < val.Rows; i++ {
@@ -250,13 +391,14 @@ func (t *Tape) SoftmaxRows(a *Node) *Node {
 			}
 		}
 	}
-	return t.record(n)
+	return n
 }
 
 // LogSoftmaxRows applies row-wise log-softmax.
 func (t *Tape) LogSoftmaxRows(a *Node) *Node {
-	val := a.Value.LogSoftmaxRows()
-	n := &Node{Value: val}
+	val := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.LogSoftmaxRowsInto(val, a.Value)
+	n := t.newNode(val)
 	n.back = func() {
 		g := a.grad()
 		for i := 0; i < val.Rows; i++ {
@@ -272,7 +414,7 @@ func (t *Tape) LogSoftmaxRows(a *Node) *Node {
 			}
 		}
 	}
-	return t.record(n)
+	return n
 }
 
 // --- Shape ops --------------------------------------------------------------
@@ -280,10 +422,14 @@ func (t *Tape) LogSoftmaxRows(a *Node) *Node {
 // ConcatCols joins nodes horizontally.
 func (t *Tape) ConcatCols(ns ...*Node) *Node {
 	vals := make([]*tensor.Matrix, len(ns))
+	cols := 0
 	for i, x := range ns {
 		vals[i] = x.Value
+		cols += x.Value.Cols
 	}
-	n := &Node{Value: tensor.ConcatCols(vals...)}
+	val := t.alloc(ns[0].Value.Rows, cols)
+	tensor.ConcatColsInto(val, vals...)
+	n := t.newNode(val)
 	n.back = func() {
 		off := 0
 		for _, x := range ns {
@@ -298,16 +444,20 @@ func (t *Tape) ConcatCols(ns ...*Node) *Node {
 			off += x.Value.Cols
 		}
 	}
-	return t.record(n)
+	return n
 }
 
 // ConcatRows stacks nodes vertically.
 func (t *Tape) ConcatRows(ns ...*Node) *Node {
 	vals := make([]*tensor.Matrix, len(ns))
+	rows := 0
 	for i, x := range ns {
 		vals[i] = x.Value
+		rows += x.Value.Rows
 	}
-	n := &Node{Value: tensor.ConcatRows(vals...)}
+	val := t.alloc(rows, ns[0].Value.Cols)
+	tensor.ConcatRowsInto(val, vals...)
+	n := t.newNode(val)
 	n.back = func() {
 		off := 0
 		for _, x := range ns {
@@ -323,12 +473,17 @@ func (t *Tape) ConcatRows(ns ...*Node) *Node {
 			off += rows
 		}
 	}
-	return t.record(n)
+	return n
 }
 
 // SliceRows takes rows [lo, hi) of a.
 func (t *Tape) SliceRows(a *Node, lo, hi int) *Node {
-	n := &Node{Value: a.Value.SliceRows(lo, hi)}
+	if lo < 0 || hi > a.Value.Rows || lo >= hi {
+		panic(fmt.Sprintf("ag: SliceRows [%d,%d) out of range for %d rows", lo, hi, a.Value.Rows))
+	}
+	val := t.alloc(hi-lo, a.Value.Cols)
+	copy(val.Data, a.Value.Data[lo*a.Value.Cols:hi*a.Value.Cols])
+	n := t.newNode(val)
 	n.back = func() {
 		g := a.grad()
 		for i := lo; i < hi; i++ {
@@ -339,16 +494,16 @@ func (t *Tape) SliceRows(a *Node, lo, hi int) *Node {
 			}
 		}
 	}
-	return t.record(n)
+	return n
 }
 
 // GatherRows selects the given rows of a (rows may repeat).
 func (t *Tape) GatherRows(a *Node, rows []int) *Node {
-	val := tensor.New(len(rows), a.Value.Cols)
+	val := t.alloc(len(rows), a.Value.Cols)
 	for i, r := range rows {
 		copy(val.Row(i), a.Value.Row(r))
 	}
-	n := &Node{Value: val}
+	n := t.newNode(val)
 	n.back = func() {
 		g := a.grad()
 		for i, r := range rows {
@@ -359,7 +514,7 @@ func (t *Tape) GatherRows(a *Node, rows []int) *Node {
 			}
 		}
 	}
-	return t.record(n)
+	return n
 }
 
 // Reshape reinterprets a as rows×cols (same element count, row-major order).
@@ -367,21 +522,32 @@ func (t *Tape) Reshape(a *Node, rows, cols int) *Node {
 	if rows*cols != a.Value.Rows*a.Value.Cols {
 		panic(fmt.Sprintf("ag: Reshape %dx%d -> %dx%d changes size", a.Value.Rows, a.Value.Cols, rows, cols))
 	}
-	n := &Node{Value: tensor.FromSlice(rows, cols, a.Value.Data)}
+	n := t.newNode(tensor.FromSlice(rows, cols, a.Value.Data))
 	n.back = func() {
 		g := a.grad()
 		for i, v := range n.Grad.Data {
 			g.Data[i] += v
 		}
 	}
-	return t.record(n)
+	return n
 }
 
 // Transpose returns aᵀ.
 func (t *Tape) Transpose(a *Node) *Node {
-	n := &Node{Value: a.Value.Transpose()}
-	n.back = func() { a.grad().AddInPlace(n.Grad.Transpose()) }
-	return t.record(n)
+	val := t.alloc(a.Value.Cols, a.Value.Rows)
+	tensor.TransposeInto(val, a.Value)
+	n := t.newNode(val)
+	n.back = func() {
+		g := a.grad()
+		dg := n.Grad
+		for i := 0; i < dg.Rows; i++ {
+			row := dg.Row(i)
+			for j, v := range row {
+				g.Data[j*dg.Rows+i] += v
+			}
+		}
+	}
+	return n
 }
 
 // --- Lookup / dropout -------------------------------------------------------
@@ -393,28 +559,40 @@ func (t *Tape) Lookup(table *Node, ids []int) *Node {
 }
 
 // Dropout zeroes entries with probability p and rescales survivors by
-// 1/(1-p) (inverted dropout). With p<=0 it is the identity.
+// 1/(1-p) (inverted dropout). With p<=0 it is the identity. A tape-level
+// rng set with SetRand takes precedence over the argument, which is how the
+// training engine makes masks deterministic per example.
 func (t *Tape) Dropout(a *Node, p float64, rng *rand.Rand) *Node {
 	if p <= 0 {
 		return a
 	}
-	mask := tensor.New(a.Value.Rows, a.Value.Cols)
+	if t.rng != nil {
+		rng = t.rng
+	}
+	mask := t.alloc(a.Value.Rows, a.Value.Cols)
 	scale := 1 / (1 - p)
 	for i := range mask.Data {
 		if rng.Float64() >= p {
 			mask.Data[i] = scale
 		}
 	}
-	n := &Node{Value: a.Value.Mul(mask)}
-	n.back = func() { a.grad().AddInPlace(n.Grad.Mul(mask)) }
-	return t.record(n)
+	val := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.MulInto(val, a.Value, mask)
+	n := t.newNode(val)
+	n.back = func() {
+		g := a.grad()
+		for i, d := range n.Grad.Data {
+			g.Data[i] += d * mask.Data[i]
+		}
+	}
+	return n
 }
 
 // --- Reductions and losses ---------------------------------------------------
 
 // Sum reduces a to a 1×1 scalar.
 func (t *Tape) Sum(a *Node) *Node {
-	n := &Node{Value: tensor.FromSlice(1, 1, []float64{a.Value.Sum()})}
+	n := t.scalar(a.Value.Sum())
 	n.back = func() {
 		g := a.grad()
 		d := n.Grad.Data[0]
@@ -422,13 +600,13 @@ func (t *Tape) Sum(a *Node) *Node {
 			g.Data[i] += d
 		}
 	}
-	return t.record(n)
+	return n
 }
 
 // Mean reduces a to its scalar mean.
 func (t *Tape) Mean(a *Node) *Node {
 	inv := 1 / float64(a.Value.Rows*a.Value.Cols)
-	n := &Node{Value: tensor.FromSlice(1, 1, []float64{a.Value.Sum() * inv})}
+	n := t.scalar(a.Value.Sum() * inv)
 	n.back = func() {
 		g := a.grad()
 		d := n.Grad.Data[0] * inv
@@ -436,12 +614,12 @@ func (t *Tape) Mean(a *Node) *Node {
 			g.Data[i] += d
 		}
 	}
-	return t.record(n)
+	return n
 }
 
 // MeanRows averages over rows, returning a 1×cols node.
 func (t *Tape) MeanRows(a *Node) *Node {
-	val := tensor.New(1, a.Value.Cols)
+	val := t.alloc(1, a.Value.Cols)
 	for i := 0; i < a.Value.Rows; i++ {
 		row := a.Value.Row(i)
 		for j, v := range row {
@@ -452,7 +630,7 @@ func (t *Tape) MeanRows(a *Node) *Node {
 	for j := range val.Data {
 		val.Data[j] *= inv
 	}
-	n := &Node{Value: val}
+	n := t.newNode(val)
 	n.back = func() {
 		g := a.grad()
 		for i := 0; i < g.Rows; i++ {
@@ -462,7 +640,7 @@ func (t *Tape) MeanRows(a *Node) *Node {
 			}
 		}
 	}
-	return t.record(n)
+	return n
 }
 
 // CrossEntropy computes the mean negative log-likelihood of targets under
@@ -472,7 +650,8 @@ func (t *Tape) CrossEntropy(logits *Node, targets []int) *Node {
 	if len(targets) != logits.Value.Rows {
 		panic(fmt.Sprintf("ag: CrossEntropy %d targets for %d rows", len(targets), logits.Value.Rows))
 	}
-	logp := logits.Value.LogSoftmaxRows()
+	logp := t.alloc(logits.Value.Rows, logits.Value.Cols)
+	tensor.LogSoftmaxRowsInto(logp, logits.Value)
 	var loss float64
 	count := 0
 	for i, y := range targets {
@@ -486,7 +665,7 @@ func (t *Tape) CrossEntropy(logits *Node, targets []int) *Node {
 		count = 1
 	}
 	inv := 1 / float64(count)
-	n := &Node{Value: tensor.FromSlice(1, 1, []float64{loss * inv})}
+	n := t.scalar(loss * inv)
 	n.back = func() {
 		d := n.Grad.Data[0] * inv
 		g := logits.grad()
@@ -506,7 +685,7 @@ func (t *Tape) CrossEntropy(logits *Node, targets []int) *Node {
 			}
 		}
 	}
-	return t.record(n)
+	return n
 }
 
 // KLDiv computes sum_i p_i * log(p_i / q_i) where p is a fixed target
@@ -517,7 +696,8 @@ func (t *Tape) KLDiv(p *tensor.Matrix, logits *Node) *Node {
 	if !p.SameShape(logits.Value) {
 		panic(fmt.Sprintf("ag: KLDiv shape mismatch %dx%d vs %dx%d", p.Rows, p.Cols, logits.Value.Rows, logits.Value.Cols))
 	}
-	logq := logits.Value.LogSoftmaxRows()
+	logq := t.alloc(logits.Value.Rows, logits.Value.Cols)
+	tensor.LogSoftmaxRowsInto(logq, logits.Value)
 	var loss float64
 	for i, pi := range p.Data {
 		if pi > 0 {
@@ -525,7 +705,7 @@ func (t *Tape) KLDiv(p *tensor.Matrix, logits *Node) *Node {
 		}
 	}
 	inv := 1 / float64(p.Rows)
-	n := &Node{Value: tensor.FromSlice(1, 1, []float64{loss * inv})}
+	n := t.scalar(loss * inv)
 	n.back = func() {
 		d := n.Grad.Data[0] * inv
 		g := logits.grad()
@@ -543,7 +723,7 @@ func (t *Tape) KLDiv(p *tensor.Matrix, logits *Node) *Node {
 			}
 		}
 	}
-	return t.record(n)
+	return n
 }
 
 // L1Loss computes the mean absolute difference between a and a fixed target,
@@ -557,7 +737,7 @@ func (t *Tape) L1Loss(a *Node, target *tensor.Matrix) *Node {
 		loss += math.Abs(v - target.Data[i])
 	}
 	inv := 1 / float64(len(a.Value.Data))
-	n := &Node{Value: tensor.FromSlice(1, 1, []float64{loss * inv})}
+	n := t.scalar(loss * inv)
 	n.back = func() {
 		d := n.Grad.Data[0] * inv
 		g := a.grad()
@@ -570,7 +750,7 @@ func (t *Tape) L1Loss(a *Node, target *tensor.Matrix) *Node {
 			}
 		}
 	}
-	return t.record(n)
+	return n
 }
 
 // MSELoss computes the mean squared difference between a and a fixed target.
@@ -584,7 +764,7 @@ func (t *Tape) MSELoss(a *Node, target *tensor.Matrix) *Node {
 		loss += d * d
 	}
 	inv := 1 / float64(len(a.Value.Data))
-	n := &Node{Value: tensor.FromSlice(1, 1, []float64{loss * inv})}
+	n := t.scalar(loss * inv)
 	n.back = func() {
 		d := n.Grad.Data[0] * inv * 2
 		g := a.grad()
@@ -592,7 +772,7 @@ func (t *Tape) MSELoss(a *Node, target *tensor.Matrix) *Node {
 			g.Data[i] += d * (v - target.Data[i])
 		}
 	}
-	return t.record(n)
+	return n
 }
 
 // BCELoss computes mean binary cross-entropy of sigmoid(logits) against
@@ -616,7 +796,7 @@ func (t *Tape) BCELoss(logits *Node, labels []int) *Node {
 		count = 1
 	}
 	inv := 1 / float64(count)
-	n := &Node{Value: tensor.FromSlice(1, 1, []float64{loss * inv})}
+	n := t.scalar(loss * inv)
 	n.back = func() {
 		d := n.Grad.Data[0] * inv
 		g := logits.grad()
@@ -628,7 +808,7 @@ func (t *Tape) BCELoss(logits *Node, labels []int) *Node {
 			g.Data[i] += d * (s - float64(y))
 		}
 	}
-	return t.record(n)
+	return n
 }
 
 // AddScalars sums scalar nodes, used to combine weighted loss terms.
@@ -640,11 +820,11 @@ func (t *Tape) AddScalars(ns ...*Node) *Node {
 		}
 		total += x.Value.Data[0]
 	}
-	n := &Node{Value: tensor.FromSlice(1, 1, []float64{total})}
+	n := t.scalar(total)
 	n.back = func() {
 		for _, x := range ns {
 			x.grad().Data[0] += n.Grad.Data[0]
 		}
 	}
-	return t.record(n)
+	return n
 }

@@ -13,11 +13,11 @@ func (t *Tape) SliceCols(a *Node, lo, hi int) *Node {
 	if lo < 0 || hi > a.Value.Cols || lo >= hi {
 		panic(fmt.Sprintf("ag: SliceCols [%d,%d) out of range for %d cols", lo, hi, a.Value.Cols))
 	}
-	val := tensor.New(a.Value.Rows, hi-lo)
+	val := t.alloc(a.Value.Rows, hi-lo)
 	for i := 0; i < a.Value.Rows; i++ {
 		copy(val.Row(i), a.Value.Row(i)[lo:hi])
 	}
-	n := &Node{Value: val}
+	n := t.newNode(val)
 	n.back = func() {
 		g := a.grad()
 		for i := 0; i < val.Rows; i++ {
@@ -28,7 +28,7 @@ func (t *Tape) SliceCols(a *Node, lo, hi int) *Node {
 			}
 		}
 	}
-	return t.record(n)
+	return n
 }
 
 // MulRowVector multiplies every row of a elementwise by the 1×cols vector v
@@ -37,7 +37,7 @@ func (t *Tape) MulRowVector(a, v *Node) *Node {
 	if v.Value.Rows != 1 || v.Value.Cols != a.Value.Cols {
 		panic(fmt.Sprintf("ag: MulRowVector wants 1x%d, got %dx%d", a.Value.Cols, v.Value.Rows, v.Value.Cols))
 	}
-	val := tensor.New(a.Value.Rows, a.Value.Cols)
+	val := t.alloc(a.Value.Rows, a.Value.Cols)
 	for i := 0; i < a.Value.Rows; i++ {
 		src := a.Value.Row(i)
 		dst := val.Row(i)
@@ -45,7 +45,7 @@ func (t *Tape) MulRowVector(a, v *Node) *Node {
 			dst[j] = x * v.Value.Data[j]
 		}
 	}
-	n := &Node{Value: val}
+	n := t.newNode(val)
 	n.back = func() {
 		ga := a.grad()
 		gv := v.grad()
@@ -59,7 +59,7 @@ func (t *Tape) MulRowVector(a, v *Node) *Node {
 			}
 		}
 	}
-	return t.record(n)
+	return n
 }
 
 // RowNorm standardises each row of a to zero mean and unit variance:
@@ -68,8 +68,8 @@ func (t *Tape) MulRowVector(a, v *Node) *Node {
 // gain and bias.
 func (t *Tape) RowNorm(a *Node, eps float64) *Node {
 	rows, cols := a.Value.Rows, a.Value.Cols
-	val := tensor.New(rows, cols)
-	invStd := make([]float64, rows)
+	val := t.alloc(rows, cols)
+	invStd := t.floats(rows)
 	for i := 0; i < rows; i++ {
 		src := a.Value.Row(i)
 		var mean float64
@@ -90,7 +90,7 @@ func (t *Tape) RowNorm(a *Node, eps float64) *Node {
 			dst[j] = (x - mean) * is
 		}
 	}
-	n := &Node{Value: val}
+	n := t.newNode(val)
 	n.back = func() {
 		g := a.grad()
 		for i := 0; i < rows; i++ {
@@ -110,7 +110,7 @@ func (t *Tape) RowNorm(a *Node, eps float64) *Node {
 			}
 		}
 	}
-	return t.record(n)
+	return n
 }
 
 // L1Between computes the mean absolute elementwise difference between two
@@ -126,7 +126,7 @@ func (t *Tape) L1Between(a, b *Node) *Node {
 		loss += math.Abs(v - b.Value.Data[i])
 	}
 	inv := 1 / float64(len(a.Value.Data))
-	n := &Node{Value: tensor.FromSlice(1, 1, []float64{loss * inv})}
+	n := t.scalar(loss * inv)
 	n.back = func() {
 		d := n.Grad.Data[0] * inv
 		ga := a.grad()
@@ -142,7 +142,7 @@ func (t *Tape) L1Between(a, b *Node) *Node {
 			}
 		}
 	}
-	return t.record(n)
+	return n
 }
 
 // AddMasked adds mask (a fixed matrix, typically 0 / -inf-like values) to a.
@@ -152,7 +152,9 @@ func (t *Tape) AddMasked(a *Node, mask *tensor.Matrix) *Node {
 	if !mask.SameShape(a.Value) {
 		panic("ag: AddMasked shape mismatch")
 	}
-	n := &Node{Value: a.Value.Add(mask)}
+	val := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.AddInto(val, a.Value, mask)
+	n := t.newNode(val)
 	n.back = func() { a.addGrad(n.Grad) }
-	return t.record(n)
+	return n
 }

@@ -1,0 +1,53 @@
+package ag
+
+import "webbrief/internal/tensor"
+
+// GradSink is a private gradient accumulator for one training worker. When
+// attached to a tape with SetSink, Backward adds parameter gradients into
+// the sink's per-parameter shard instead of the shared Param.Grad, so
+// several workers can run backward passes concurrently over the same model
+// without synchronisation. After the batch, MergeInto folds every shard into
+// Param.Grad; calling it worker-by-worker in a fixed order makes the merged
+// gradient — and therefore the whole training run — independent of goroutine
+// scheduling.
+//
+// Shard matrices are allocated once per parameter and reused across steps
+// (MergeInto zeroes them), so sinks add no steady-state allocation.
+type GradSink struct {
+	grads map[*Param]*tensor.Matrix
+}
+
+// NewGradSink returns an empty sink.
+func NewGradSink() *GradSink {
+	return &GradSink{grads: make(map[*Param]*tensor.Matrix)}
+}
+
+// Grad returns the sink's gradient shard for p, allocating it (zeroed) on
+// first use.
+func (s *GradSink) Grad(p *Param) *tensor.Matrix {
+	g, ok := s.grads[p]
+	if !ok {
+		g = tensor.New(p.Value.Rows, p.Value.Cols)
+		s.grads[p] = g
+	}
+	return g
+}
+
+// MergeInto adds the shards into each parameter's Grad and zeroes them for
+// the next batch. Iteration follows the caller's params order (not map
+// order), so merging several sinks in worker order is fully deterministic.
+func (s *GradSink) MergeInto(params []*Param) {
+	for _, p := range params {
+		if g, ok := s.grads[p]; ok {
+			p.Grad.AddInPlace(g)
+			g.Zero()
+		}
+	}
+}
+
+// Reset zeroes all shards without merging, discarding pending gradients.
+func (s *GradSink) Reset() {
+	for _, g := range s.grads {
+		g.Zero()
+	}
+}

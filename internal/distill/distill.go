@@ -24,6 +24,7 @@ package distill
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"webbrief/internal/ag"
 	"webbrief/internal/nn"
@@ -137,6 +138,30 @@ type Distiller struct {
 
 	initialized bool
 	rng         *rand.Rand
+
+	// teacherTapes pairs each student tape with a reusable arena tape for
+	// the frozen teacher's forward pass. The pairing matters for parallel
+	// training: teacher values are read during the student tape's Backward,
+	// so the teacher tape may only be reset when its student tape starts
+	// the next example — never while another worker still needs it.
+	mu           sync.Mutex
+	teacherTapes map[*ag.Tape]*ag.Tape
+}
+
+// teacherTapeFor returns the reusable teacher tape paired with student tape
+// t, creating it on first use.
+func (d *Distiller) teacherTapeFor(t *ag.Tape) *ag.Tape {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.teacherTapes == nil {
+		d.teacherTapes = make(map[*ag.Tape]*ag.Tape)
+	}
+	tt := d.teacherTapes[t]
+	if tt == nil {
+		tt = ag.NewArenaTape()
+		d.teacherTapes[t] = tt
+	}
+	return tt
 }
 
 // New creates a distiller. topics are the seen-domain topic phrases in
@@ -213,7 +238,8 @@ func (d *Distiller) udLoss(t *ag.Tape, teacherLogits *tensor.Matrix, studentLogi
 // teacher runs on its own tape in Distill mode (teacher forcing, no
 // dropout) and contributes values only.
 func (d *Distiller) LossOn(t *ag.Tape, inst *wb.Instance) *ag.Node {
-	tt := ag.NewTape()
+	tt := d.teacherTapeFor(t)
+	tt.Reset()
 	tOut := d.Teacher.Forward(tt, inst, wb.Distill)
 	sOut := d.Student.Forward(t, inst, wb.Train)
 	d.initProjections(hiddenFor(d.Task, tOut), hiddenFor(d.Task, sOut))
@@ -269,7 +295,9 @@ func (d *Distiller) hardLoss(t *ag.Tape, out *wb.Output, inst *wb.Instance) *ag.
 
 // Train distills the student on insts and returns per-epoch mean losses.
 // The optimizer covers the student parameters and the distillation
-// projections; the teacher is never updated.
+// projections; the teacher is never updated. Training runs on the shared
+// batch-parallel engine (wb.TrainEpochs), so tc.BatchSize and tc.Workers
+// apply to distillation exactly as they do to supervised training.
 func (d *Distiller) Train(insts []*wb.Instance, tc wb.TrainConfig) []float64 {
 	if len(insts) == 0 {
 		return nil
@@ -286,25 +314,9 @@ func (d *Distiller) Train(insts []*wb.Instance, tc wb.TrainConfig) []float64 {
 	}
 	optim.ZeroGrad() // discard warm-up gradients
 
-	rng := rand.New(rand.NewSource(tc.Seed))
-	order := make([]int, len(insts))
-	for i := range order {
-		order[i] = i
-	}
-	var losses []float64
-	for epoch := 0; epoch < tc.Epochs; epoch++ {
-		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		var sum float64
-		for _, idx := range order {
-			t := ag.NewTape()
-			loss := d.LossOn(t, insts[idx])
-			sum += loss.Value.Data[0]
-			t.Backward(loss)
-			optim.Step()
-		}
-		losses = append(losses, sum/float64(len(insts)))
-	}
-	return losses
+	return wb.TrainEpochs(optim, params, len(insts), tc, func(t *ag.Tape, idx int) *ag.Node {
+		return d.LossOn(t, insts[idx])
+	}, nil)
 }
 
 // TopicIDs converts topic phrases to token-id form for BuildTopicKnowledge.

@@ -51,6 +51,8 @@ type Options struct {
 	MLMSteps       int
 	BeamWidth      int
 	TopicLen       int
+	BatchSize      int // gradient-accumulation batch for all trainers
+	Workers        int // data-parallel training fan-out; 0 = GOMAXPROCS
 }
 
 // DefaultOptions returns the options for a scale.
@@ -215,6 +217,8 @@ func (s *Setup) TrainCfg(epochs int) wb.TrainConfig {
 	tc := wb.DefaultTrainConfig()
 	tc.Epochs = epochs
 	tc.Seed = s.Opt.Seed
+	tc.BatchSize = s.Opt.BatchSize
+	tc.Workers = s.Opt.Workers
 	return tc
 }
 

@@ -1,0 +1,115 @@
+package tensor
+
+// Arena is a bump allocator for matrices with identical lifetimes — the
+// intermediate values and gradients of one training step. Alloc hands out
+// zeroed matrices carved from large reusable slabs; Reset rewinds the arena
+// so the next step reuses the same memory. Steady-state training therefore
+// performs near-zero heap allocation per step: after the first step sizes
+// every slab, later steps only pay a memset per allocation (which New would
+// pay anyway via make).
+//
+// An Arena is not safe for concurrent use; parallel training gives each
+// worker its own arena-backed tape.
+type Arena struct {
+	slabs [][]float64
+	slab  int // index of the slab currently being filled
+	off   int // fill offset within slabs[slab]
+
+	mats   [][]Matrix
+	matBlk int
+	matOff int
+}
+
+// arenaSlabFloats is the default slab size (64k floats = 512 KiB). Requests
+// larger than a slab get a dedicated exactly-sized slab.
+const arenaSlabFloats = 1 << 16
+
+// arenaMatBlock is how many Matrix headers are allocated per header block.
+// Blocks are never reallocated, so *Matrix pointers stay valid for the
+// arena's lifetime.
+const arenaMatBlock = 512
+
+// NewArena returns an empty arena. Slabs are allocated lazily on first use.
+func NewArena() *Arena { return &Arena{} }
+
+// AllocFloats returns a zeroed slice of n floats backed by the arena. The
+// slice is full-capacity-clipped so appends never bleed into neighbours.
+func (a *Arena) AllocFloats(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	for {
+		if a.slab == len(a.slabs) {
+			size := arenaSlabFloats
+			if n > size {
+				size = n
+			}
+			a.slabs = append(a.slabs, make([]float64, size))
+		}
+		if s := a.slabs[a.slab]; a.off+n <= len(s) {
+			out := s[a.off : a.off+n : a.off+n]
+			a.off += n
+			for i := range out {
+				out[i] = 0
+			}
+			return out
+		}
+		a.slab++
+		a.off = 0
+	}
+}
+
+// Alloc returns a zeroed rows×cols matrix whose header and data both live in
+// the arena. It panics on non-positive dimensions, like New.
+func (a *Arena) Alloc(rows, cols int) *Matrix {
+	m := a.allocHeader(rows, cols)
+	m.Data = a.AllocFloats(rows * cols)
+	return m
+}
+
+// AllocShared returns a rows×cols matrix header viewing data, without
+// copying. It is the arena analogue of FromSlice.
+func (a *Arena) AllocShared(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic("tensor: AllocShared data length does not match shape")
+	}
+	m := a.allocHeader(rows, cols)
+	m.Data = data
+	return m
+}
+
+func (a *Arena) allocHeader(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic("tensor: Arena.Alloc invalid shape")
+	}
+	if a.matBlk == len(a.mats) {
+		a.mats = append(a.mats, make([]Matrix, arenaMatBlock))
+	}
+	blk := a.mats[a.matBlk]
+	m := &blk[a.matOff]
+	m.Rows, m.Cols = rows, cols
+	a.matOff++
+	if a.matOff == len(blk) {
+		a.matBlk++
+		a.matOff = 0
+	}
+	return m
+}
+
+// Reset rewinds the arena so all previously allocated matrices may be
+// reused. The caller must ensure nothing from before the Reset is still
+// referenced: old matrices will alias new ones.
+func (a *Arena) Reset() {
+	a.slab, a.off = 0, 0
+	a.matBlk, a.matOff = 0, 0
+}
+
+// Footprint reports the total floats held across all slabs — the arena's
+// steady-state memory, exposed for capacity diagnostics and tests.
+func (a *Arena) Footprint() int {
+	n := 0
+	for _, s := range a.slabs {
+		n += len(s)
+	}
+	return n
+}

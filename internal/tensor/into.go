@@ -1,0 +1,221 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Destination-passing variants of the elementwise and matrix kernels. Each
+// writes its result into dst instead of allocating, which lets the autodiff
+// tape draw every intermediate value from a reusable Arena. Kernels that
+// accumulate (+=) document that dst must be zeroed; Arena.Alloc and New both
+// guarantee that.
+
+func dstShapeCheck(dst *Matrix, rows, cols int, op string) {
+	if dst.Rows != rows || dst.Cols != cols {
+		panic(fmt.Sprintf("tensor: %s dst shape %dx%d, want %dx%d", op, dst.Rows, dst.Cols, rows, cols))
+	}
+}
+
+// AddInto sets dst = a + b.
+func AddInto(dst, a, b *Matrix) {
+	a.shapeCheck(b, "AddInto")
+	dstShapeCheck(dst, a.Rows, a.Cols, "AddInto")
+	for i, v := range a.Data {
+		dst.Data[i] = v + b.Data[i]
+	}
+}
+
+// SubInto sets dst = a - b.
+func SubInto(dst, a, b *Matrix) {
+	a.shapeCheck(b, "SubInto")
+	dstShapeCheck(dst, a.Rows, a.Cols, "SubInto")
+	for i, v := range a.Data {
+		dst.Data[i] = v - b.Data[i]
+	}
+}
+
+// MulInto sets dst = a ⊙ b.
+func MulInto(dst, a, b *Matrix) {
+	a.shapeCheck(b, "MulInto")
+	dstShapeCheck(dst, a.Rows, a.Cols, "MulInto")
+	for i, v := range a.Data {
+		dst.Data[i] = v * b.Data[i]
+	}
+}
+
+// ScaleInto sets dst = s*a.
+func ScaleInto(dst, a *Matrix, s float64) {
+	dstShapeCheck(dst, a.Rows, a.Cols, "ScaleInto")
+	for i, v := range a.Data {
+		dst.Data[i] = s * v
+	}
+}
+
+// AddRowVectorInto sets dst = a with the 1×cols vector v added to each row.
+func AddRowVectorInto(dst, a, v *Matrix) {
+	if v.Rows != 1 || v.Cols != a.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVectorInto wants 1x%d, got %dx%d", a.Cols, v.Rows, v.Cols))
+	}
+	dstShapeCheck(dst, a.Rows, a.Cols, "AddRowVectorInto")
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		out := dst.Row(i)
+		for j, x := range row {
+			out[j] = x + v.Data[j]
+		}
+	}
+}
+
+// MatMulInto accumulates dst += m·o. dst must be zeroed for a plain product.
+func MatMulInto(dst, m, o *Matrix) {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("tensor: MatMulInto inner dim mismatch %dx%d · %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	dstShapeCheck(dst, m.Rows, o.Cols, "MatMulInto")
+	matMulInto(dst, m, o)
+}
+
+// MatMulTransBInto sets dst = m·oᵀ (every cell written, no zeroing needed).
+func MatMulTransBInto(dst, m, o *Matrix) {
+	if m.Cols != o.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto dim mismatch %dx%d · (%dx%d)ᵀ", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	dstShapeCheck(dst, m.Rows, o.Rows, "MatMulTransBInto")
+	for i := 0; i < m.Rows; i++ {
+		mRow := m.Row(i)
+		rRow := dst.Row(i)
+		for j := 0; j < o.Rows; j++ {
+			oRow := o.Row(j)
+			var s float64
+			for k, a := range mRow {
+				s += a * oRow[k]
+			}
+			rRow[j] = s
+		}
+	}
+}
+
+// MatMulTransAInto accumulates dst += mᵀ·o. dst must be zeroed for a plain
+// product.
+func MatMulTransAInto(dst, m, o *Matrix) {
+	if m.Rows != o.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto dim mismatch (%dx%d)ᵀ · %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	dstShapeCheck(dst, m.Cols, o.Cols, "MatMulTransAInto")
+	for k := 0; k < m.Rows; k++ {
+		mRow := m.Row(k)
+		oRow := o.Row(k)
+		for i, a := range mRow {
+			if a == 0 {
+				continue
+			}
+			rRow := dst.Row(i)
+			for j, b := range oRow {
+				rRow[j] += a * b
+			}
+		}
+	}
+}
+
+// TransposeInto sets dst = mᵀ.
+func TransposeInto(dst, m *Matrix) {
+	dstShapeCheck(dst, m.Cols, m.Rows, "TransposeInto")
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			dst.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
+		}
+	}
+}
+
+// TanhInto sets dst = tanh(m) elementwise.
+func TanhInto(dst, m *Matrix) {
+	dstShapeCheck(dst, m.Rows, m.Cols, "TanhInto")
+	for i, v := range m.Data {
+		dst.Data[i] = math.Tanh(v)
+	}
+}
+
+// SigmoidInto sets dst = σ(m) elementwise.
+func SigmoidInto(dst, m *Matrix) {
+	dstShapeCheck(dst, m.Rows, m.Cols, "SigmoidInto")
+	for i, v := range m.Data {
+		dst.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+}
+
+// ReLUInto sets dst = max(0, m) elementwise.
+func ReLUInto(dst, m *Matrix) {
+	dstShapeCheck(dst, m.Rows, m.Cols, "ReLUInto")
+	for i, v := range m.Data {
+		if v > 0 {
+			dst.Data[i] = v
+		} else {
+			dst.Data[i] = 0
+		}
+	}
+}
+
+// SoftmaxRowsInto sets dst to the row-wise softmax of m.
+func SoftmaxRowsInto(dst, m *Matrix) {
+	dstShapeCheck(dst, m.Rows, m.Cols, "SoftmaxRowsInto")
+	for i := 0; i < m.Rows; i++ {
+		softmaxInto(dst.Row(i), m.Row(i))
+	}
+}
+
+// LogSoftmaxRowsInto sets dst to the row-wise log-softmax of m.
+func LogSoftmaxRowsInto(dst, m *Matrix) {
+	dstShapeCheck(dst, m.Rows, m.Cols, "LogSoftmaxRowsInto")
+	for i := 0; i < m.Rows; i++ {
+		src := m.Row(i)
+		out := dst.Row(i)
+		mx := src[0]
+		for _, v := range src[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for _, v := range src {
+			sum += math.Exp(v - mx)
+		}
+		lse := mx + math.Log(sum)
+		for j, v := range src {
+			out[j] = v - lse
+		}
+	}
+}
+
+// ConcatRowsInto stacks ms vertically into dst.
+func ConcatRowsInto(dst *Matrix, ms ...*Matrix) {
+	off := 0
+	for _, m := range ms {
+		if m.Cols != dst.Cols {
+			panic(fmt.Sprintf("tensor: ConcatRowsInto col mismatch %d vs %d", m.Cols, dst.Cols))
+		}
+		copy(dst.Data[off:], m.Data)
+		off += len(m.Data)
+	}
+	if off != len(dst.Data) {
+		panic("tensor: ConcatRowsInto row count mismatch")
+	}
+}
+
+// ConcatColsInto joins ms horizontally into dst.
+func ConcatColsInto(dst *Matrix, ms ...*Matrix) {
+	for i := 0; i < dst.Rows; i++ {
+		out := dst.Row(i)
+		off := 0
+		for _, m := range ms {
+			if m.Rows != dst.Rows {
+				panic(fmt.Sprintf("tensor: ConcatColsInto row mismatch %d vs %d", m.Rows, dst.Rows))
+			}
+			copy(out[off:], m.Row(i))
+			off += m.Cols
+		}
+		if off != dst.Cols {
+			panic("tensor: ConcatColsInto col count mismatch")
+		}
+	}
+}

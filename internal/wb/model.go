@@ -102,7 +102,8 @@ func PredictSections(out *Output) []int {
 // (width ≤ 1 falls back to greedy). It returns nil if the model has no
 // generator head.
 func GenerateTopic(m Model, inst *Instance, beamWidth, maxLen int) []int {
-	t := ag.NewTape()
+	t := ag.GetTape()
+	defer ag.PutTape(t)
 	out := m.Forward(t, inst, Eval)
 	if out.Memory == nil || out.Dec == nil {
 		return nil

@@ -3,6 +3,8 @@ package wb
 import (
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"webbrief/internal/ag"
 	"webbrief/internal/eval"
@@ -19,7 +21,13 @@ type TrainConfig struct {
 	DecayRate  float64 // multiplicative LR decay (paper: 0.1); 0 disables
 	DecayEvery int     // steps between decays; 0 disables
 	BatchSize  int     // gradient-accumulation batch (paper: 16 / 4); ≤1 = per example
-	Seed       int64
+	// Workers fans the forward+backward passes of each batch across
+	// goroutines: 0 = GOMAXPROCS, 1 = the sequential reference
+	// implementation. Results are deterministic for a fixed Workers value
+	// regardless of scheduling, and match the sequential reference to
+	// float-reassociation error (≤1e-9 on smoke scales).
+	Workers int
+	Seed    int64
 }
 
 // DefaultTrainConfig returns the paper's optimizer setting scaled to the
@@ -28,46 +36,149 @@ func DefaultTrainConfig() TrainConfig {
 	return TrainConfig{Epochs: 3, LR: 5e-3, Clip: 1.0, Warmup: 50, Seed: 1}
 }
 
-// TrainModel trains m on insts by per-example Adam steps and returns the
-// mean training loss of each epoch. Page order is reshuffled every epoch
-// with the config seed.
-func TrainModel(m Model, insts []*Instance, tc TrainConfig) []float64 {
-	optim := newOptimizer(m, tc)
-	rng := rand.New(rand.NewSource(tc.Seed))
-	order := make([]int, len(insts))
-	for i := range order {
-		order[i] = i
+// workerCount resolves the configured fan-out.
+func (tc TrainConfig) workerCount() int {
+	if tc.Workers > 0 {
+		return tc.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// exampleSeed derives the per-example rng seed from the base seed, epoch and
+// shuffle position — never from worker identity — so dropout masks are
+// identical for every Workers setting (splitmix64-style mixing).
+func exampleSeed(seed int64, epoch, pos int) int64 {
+	h := uint64(seed)*0x9E3779B97F4A7C15 + uint64(epoch)*0xBF58476D1CE4E5B9 + uint64(pos+1)*0x94D049BB133111EB
+	h ^= h >> 31
+	h *= 0xD6E8FEB86659FD93
+	h ^= h >> 32
+	return int64(h)
+}
+
+// TrainEpochs is the data-parallel training engine shared by TrainModel,
+// TrainModelEarlyStop and the distillation trainers. Each epoch it shuffles
+// [0, n) with tc.Seed, partitions the order into gradient-accumulation
+// batches of tc.BatchSize, and takes one optimizer step per batch. Within a
+// batch, the forward+backward passes fan out across tc.Workers goroutines:
+// worker w owns batch positions ≡ w (mod workers) in increasing order, each
+// on its own arena tape with a private gradient shard, and the shards are
+// merged into Param.Grad in worker order before the step — a fixed merge
+// order, so training is bit-for-bit reproducible for a given Workers value
+// no matter how goroutines are scheduled.
+//
+// lossFn must record the loss of example idx on tape t and return it. With
+// Workers > 1 it is called from multiple goroutines concurrently and must
+// treat shared state (the model, the instances) as read-only; per-example
+// randomness should come from the tape rng (see Tape.SetRand), which the
+// engine seeds from (tc.Seed, epoch, position).
+//
+// Every example's loss is scaled by the actual size of its batch — including
+// a trailing partial batch — so the final Adam step of an epoch is weighted
+// exactly like the others.
+//
+// after, if non-nil, runs at the end of each epoch with the mean training
+// loss; returning false stops training early. It returns per-epoch mean
+// losses, summed in shuffle-position order so the reported loss is also
+// scheduling-independent.
+func TrainEpochs(optim opt.Optimizer, params []*ag.Param, n int, tc TrainConfig,
+	lossFn func(t *ag.Tape, idx int) *ag.Node,
+	after func(epoch int, mean float64) bool) []float64 {
+	if n == 0 {
+		return nil
 	}
 	batch := tc.BatchSize
 	if batch < 1 {
 		batch = 1
 	}
+	workers := tc.workerCount()
+	if workers > batch {
+		workers = batch
+	}
+
+	tapes := make([]*ag.Tape, workers)
+	sinks := make([]*ag.GradSink, workers)
+	rngs := make([]*rand.Rand, workers)
+	for w := range tapes {
+		tapes[w] = ag.NewArenaTape()
+		sinks[w] = ag.NewGradSink()
+		tapes[w].SetSink(sinks[w])
+		rngs[w] = rand.New(rand.NewSource(0))
+		tapes[w].SetRand(rngs[w])
+	}
+
+	shuffle := rand.New(rand.NewSource(tc.Seed))
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	lossAt := make([]float64, n)
+
 	var losses []float64
 	for epoch := 0; epoch < tc.Epochs; epoch++ {
-		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		var sum float64
-		pending := 0
-		for _, idx := range order {
-			inst := insts[idx]
-			t := ag.NewTape()
-			out := m.Forward(t, inst, Train)
-			loss := Loss(t, out, inst)
-			sum += loss.Value.Data[0]
-			// Gradient accumulation: average the batch by scaling each
-			// example's loss before Backward, then one Adam step per batch.
-			t.Backward(t.Scale(loss, 1/float64(batch)))
-			pending++
-			if pending == batch {
-				optim.Step()
-				pending = 0
+		shuffle.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		// runSpan computes loss and sharded gradients for positions
+		// pos ≡ w (mod workers) within [start, end) on worker w's tape.
+		runSpan := func(w, start, end int, scale float64) {
+			t := tapes[w]
+			for pos := start + w; pos < end; pos += workers {
+				idx := order[pos]
+				t.Reset()
+				rngs[w].Seed(exampleSeed(tc.Seed, epoch, pos))
+				loss := lossFn(t, idx)
+				lossAt[pos] = loss.Value.Data[0]
+				// Gradient accumulation: average the batch by scaling each
+				// example's loss before Backward, then one step per batch.
+				t.Backward(t.Scale(loss, scale))
 			}
 		}
-		if pending > 0 {
+		for start := 0; start < n; start += batch {
+			end := start + batch
+			if end > n {
+				end = n
+			}
+			// Scale by the batch actually taken, so a trailing partial
+			// batch is not under-weighted.
+			scale := 1 / float64(end-start)
+			if workers == 1 || end-start == 1 {
+				runSpan(0, start, end, scale)
+			} else {
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						runSpan(w, start, end, scale)
+					}(w)
+				}
+				wg.Wait()
+			}
+			for _, s := range sinks {
+				s.MergeInto(params)
+			}
 			optim.Step()
 		}
-		losses = append(losses, sum/float64(len(insts)))
+		var sum float64
+		for _, l := range lossAt {
+			sum += l
+		}
+		mean := sum / float64(n)
+		losses = append(losses, mean)
+		if after != nil && !after(epoch, mean) {
+			break
+		}
 	}
 	return losses
+}
+
+// TrainModel trains m on insts with gradient-accumulation batches fanned
+// across tc.Workers goroutines and returns the mean training loss of each
+// epoch. Page order is reshuffled every epoch with the config seed.
+func TrainModel(m Model, insts []*Instance, tc TrainConfig) []float64 {
+	optim := newOptimizer(m, tc)
+	return TrainEpochs(optim, m.Params(), len(insts), tc, func(t *ag.Tape, idx int) *ag.Node {
+		out := m.Forward(t, insts[idx], Train)
+		return Loss(t, out, insts[idx])
+	}, nil)
 }
 
 // newOptimizer builds the Adam optimizer from a training configuration:
@@ -86,61 +197,51 @@ func newOptimizer(m Model, tc TrainConfig) *opt.Adam {
 }
 
 // DevLoss computes the mean supervised loss on a development set without
-// updating parameters — the convergence signal for early stopping.
+// updating parameters — the convergence signal for early stopping. The
+// per-instance forwards run in parallel; the sum is taken in instance order
+// so the result is deterministic.
 func DevLoss(m Model, insts []*Instance) float64 {
 	if len(insts) == 0 {
 		return 0
 	}
+	losses := make([]float64, len(insts))
+	parallelInstances(len(insts), func(i int) {
+		t := ag.GetTape()
+		defer ag.PutTape(t)
+		out := m.Forward(t, insts[i], Distill) // teacher forcing, no dropout
+		losses[i] = Loss(t, out, insts[i]).Value.Data[0]
+	})
 	var sum float64
-	for _, inst := range insts {
-		t := ag.NewTape()
-		out := m.Forward(t, inst, Distill) // teacher forcing, no dropout
-		sum += Loss(t, out, inst).Value.Data[0]
+	for _, l := range losses {
+		sum += l
 	}
 	return sum / float64(len(insts))
 }
 
-// TrainModelEarlyStop trains like TrainModel but evaluates the development
-// loss after every epoch and stops once it has not improved for patience
-// consecutive epochs — the paper's early-stopping protocol (§IV-A5:
-// "training is early stopped once convergence is determined on the
-// development dataset"). It returns the per-epoch training losses and the
-// number of epochs actually run.
+// TrainModelEarlyStop trains like TrainModel — same batching and worker
+// fan-out — but evaluates the development loss after every epoch and stops
+// once it has not improved for patience consecutive epochs, the paper's
+// early-stopping protocol (§IV-A5: "training is early stopped once
+// convergence is determined on the development dataset"). It returns the
+// per-epoch training losses and the number of epochs actually run.
 func TrainModelEarlyStop(m Model, train, dev []*Instance, tc TrainConfig, patience int) (losses []float64, epochs int) {
 	optim := newOptimizer(m, tc)
-	rng := rand.New(rand.NewSource(tc.Seed))
-	order := make([]int, len(train))
-	for i := range order {
-		order[i] = i
-	}
 	best := math.Inf(1)
 	bad := 0
-	for epoch := 0; epoch < tc.Epochs; epoch++ {
-		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		var sum float64
-		for _, idx := range order {
-			inst := train[idx]
-			t := ag.NewTape()
-			out := m.Forward(t, inst, Train)
-			loss := Loss(t, out, inst)
-			sum += loss.Value.Data[0]
-			t.Backward(loss)
-			optim.Step()
-		}
-		losses = append(losses, sum/float64(len(train)))
-		epochs = epoch + 1
+	losses = TrainEpochs(optim, m.Params(), len(train), tc, func(t *ag.Tape, idx int) *ag.Node {
+		out := m.Forward(t, train[idx], Train)
+		return Loss(t, out, train[idx])
+	}, func(epoch int, mean float64) bool {
 		dl := DevLoss(m, dev)
 		if dl < best-1e-6 {
 			best = dl
 			bad = 0
-		} else {
-			bad++
-			if bad >= patience {
-				break
-			}
+			return true
 		}
-	}
-	return losses, epochs
+		bad++
+		return bad < patience
+	})
+	return losses, len(losses)
 }
 
 // EvaluateExtraction scores m's attribute extraction on insts with strict
@@ -149,7 +250,8 @@ func EvaluateExtraction(m Model, insts []*Instance) eval.PRF1 {
 	pred := make([][]eval.Span, len(insts))
 	gold := make([][]eval.Span, len(insts))
 	parallelInstances(len(insts), func(i int) {
-		t := ag.NewTape()
+		t := ag.GetTape()
+		defer ag.PutTape(t)
 		out := m.Forward(t, insts[i], Eval)
 		pred[i] = eval.SpansFromBIO(PredictTags(out))
 		gold[i] = eval.SpansFromBIO(insts[i].Tags)
@@ -162,14 +264,15 @@ func EvaluateExtraction(m Model, insts []*Instance) eval.PRF1 {
 // McNemar's test.
 func ExtractionCorrect(m Model, insts []*Instance) []bool {
 	out := make([]bool, len(insts))
-	for i, inst := range insts {
-		t := ag.NewTape()
-		o := m.Forward(t, inst, Eval)
+	parallelInstances(len(insts), func(i int) {
+		t := ag.GetTape()
+		defer ag.PutTape(t)
+		o := m.Forward(t, insts[i], Eval)
 		p := eval.SpansFromBIO(PredictTags(o))
-		g := eval.SpansFromBIO(inst.Tags)
+		g := eval.SpansFromBIO(insts[i].Tags)
 		r := eval.SpanPRF1([][]eval.Span{p}, [][]eval.Span{g})
 		out[i] = r.F1 == 100
-	}
+	})
 	return out
 }
 
@@ -202,17 +305,23 @@ func TopicCorrect(m Model, insts []*Instance, v *textproc.Vocab, beamWidth, maxL
 	return out
 }
 
-// EvaluateSections scores informative-section prediction accuracy (%).
+// EvaluateSections scores informative-section prediction accuracy (%). The
+// per-instance forwards run in parallel; predictions are concatenated in
+// instance order, so the score matches the sequential computation exactly.
 func EvaluateSections(m Model, insts []*Instance) float64 {
+	preds := make([][]int, len(insts))
+	parallelInstances(len(insts), func(i int) {
+		t := ag.GetTape()
+		defer ag.PutTape(t)
+		out := m.Forward(t, insts[i], Eval)
+		preds[i] = PredictSections(out)
+	})
 	var pred, gold []int
-	for _, inst := range insts {
-		t := ag.NewTape()
-		out := m.Forward(t, inst, Eval)
-		p := PredictSections(out)
-		if p == nil {
-			return 0
+	for i, inst := range insts {
+		if preds[i] == nil {
+			return 0 // model has no section head
 		}
-		pred = append(pred, p...)
+		pred = append(pred, preds[i]...)
 		gold = append(gold, inst.SentInfo...)
 	}
 	return eval.Accuracy(pred, gold)
