@@ -1,0 +1,65 @@
+// Command wbcheck runs the repository's determinism and numeric-safety lint
+// suite over the given package patterns (default ./...). It is part of the
+// pre-merge gate (scripts/check.sh): a non-empty report exits 1.
+//
+//	go run ./cmd/wbcheck ./...
+//
+// Passes:
+//
+//	detmap    range over maps of *ag.Param / model state (random order)
+//	seedrand  global math/rand source, literal seeds, time.Now in hot paths
+//	floateq   == / != between floating-point operands
+//	tapelife  ag.GetTape without deferred ag.PutTape; Reset on pooled tapes
+//	shapedoc  exported tensor kernels missing the shape-check preamble
+//
+// A violation can be suppressed — with justification in review — by a
+// `//wbcheck:ignore [pass...]` comment on the same line or the line above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"webbrief/internal/analysis"
+	"webbrief/internal/analysis/detmap"
+	"webbrief/internal/analysis/floateq"
+	"webbrief/internal/analysis/seedrand"
+	"webbrief/internal/analysis/shapedoc"
+	"webbrief/internal/analysis/tapelife"
+)
+
+var passes = []*analysis.Analyzer{
+	detmap.Analyzer,
+	floateq.Analyzer,
+	seedrand.Analyzer,
+	shapedoc.Analyzer,
+	tapelife.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("passes", false, "list the registered passes and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range passes {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analysis.Run(patterns, passes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wbcheck:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "wbcheck: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	wbtrain [-domains N] [-pages N] [-epochs N] [-hidden N] [-embdim N] [-seed N] -out model.bin
+//	wbtrain [-domains N] [-pages N] [-epochs N] [-hidden N] [-embdim N] [-seed N] [-workers N] -out model.bin
 package main
 
 import (
@@ -26,6 +26,7 @@ func main() {
 	hidden := flag.Int("hidden", 24, "LSTM hidden size per direction")
 	embDim := flag.Int("embdim", 24, "word embedding width")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "parallel training workers (0 = GOMAXPROCS, 1 = sequential)")
 	out := flag.String("out", "model.bin", "output model bundle path")
 	export := flag.String("export", "", "also export the labelled dataset as JSONL to this path")
 	flag.Parse()
@@ -77,6 +78,7 @@ func main() {
 	tc := wb.DefaultTrainConfig()
 	tc.Epochs = *epochs
 	tc.Seed = *seed
+	tc.Workers = *workers
 	log.Printf("training Joint-WB on %d pages for %d epochs...", len(trainInsts), *epochs)
 	losses := wb.TrainModel(m, trainInsts, tc)
 	log.Printf("final training loss %.4f", losses[len(losses)-1])

@@ -38,6 +38,7 @@ type Node struct {
 	Grad  *tensor.Matrix // allocated lazily on first gradient contribution
 	back  func()         // propagates n.Grad into parents; nil for leaves
 	t     *Tape          // owning tape, for arena-backed gradient buffers
+	gen   uint64         // tape generation at recording; wbdebug use-after-Reset check
 }
 
 // Rows returns the row count of the node's value.
@@ -47,6 +48,7 @@ func (n *Node) Rows() int { return n.Value.Rows }
 func (n *Node) Cols() int { return n.Value.Cols }
 
 func (n *Node) grad() *tensor.Matrix {
+	debugCheckNode(n, "gradient accumulation")
 	if n.Grad == nil {
 		if n.t != nil {
 			n.Grad = n.t.alloc(n.Value.Rows, n.Value.Cols)
@@ -84,12 +86,14 @@ const nodeBlock = 256
 type Tape struct {
 	nodes []*Node
 
-	blocks  [][]Node // node arena; reused across Reset
-	blk     int
-	blkOff  int
-	arena   *tensor.Arena // nil: plain heap allocation
-	sink    *GradSink     // nil: Use accumulates into Param.Grad
-	rng     *rand.Rand    // nil: Dropout uses the caller-provided rng
+	blocks [][]Node // node arena; reused across Reset
+	blk    int
+	blkOff int
+	arena  *tensor.Arena // nil: plain heap allocation
+	sink   *GradSink     // nil: Use accumulates into Param.Grad
+	rng    *rand.Rand    // nil: Dropout uses the caller-provided rng
+	gen    uint64        // bumped by Reset; wbdebug use-after-Reset check
+	pooled bool          // wbdebug double-PutTape check
 }
 
 // NewTape returns an empty heap-allocating tape. Values recorded on it may
@@ -110,6 +114,7 @@ func (t *Tape) Reset() {
 	if t.arena != nil {
 		t.arena.Reset()
 	}
+	debugTapeReset(t)
 }
 
 // SetSink redirects parameter-gradient accumulation on this tape into s
@@ -140,6 +145,7 @@ func (t *Tape) newNode(v *tensor.Matrix) *Node {
 		t.blkOff = 0
 	}
 	n.Value, n.Grad, n.back, n.t = v, nil, nil, t
+	debugStampNode(t, n)
 	t.nodes = append(t.nodes, n)
 	return n
 }
@@ -176,12 +182,14 @@ var tapePool = sync.Pool{New: func() any { return NewArenaTape() }}
 // not retain any node or matrix recorded on it past PutTape.
 func GetTape() *Tape {
 	t := tapePool.Get().(*Tape)
+	debugTapeGot(t)
 	t.Reset()
 	return t
 }
 
 // PutTape returns a pooled tape. Sink and rng attachments are dropped.
 func PutTape(t *Tape) {
+	debugTapePut(t)
 	t.sink = nil
 	t.rng = nil
 	tapePool.Put(t)
@@ -215,6 +223,7 @@ func (t *Tape) Backward(loss *Node) {
 	if loss.Value.Rows != 1 || loss.Value.Cols != 1 {
 		panic(fmt.Sprintf("ag: Backward needs scalar loss, got %dx%d", loss.Value.Rows, loss.Value.Cols))
 	}
+	debugCheckNode(loss, "Backward")
 	loss.grad().Data[0] = 1
 	for i := len(t.nodes) - 1; i >= 0; i-- {
 		n := t.nodes[i]

@@ -1,0 +1,17 @@
+//go:build !wbdebug
+
+package ag
+
+// Release-build stubs for the wbdebug tape-lifecycle instrumentation. Every
+// hook inlines to nothing, so tapes pay for the checks only under
+// `go test -tags wbdebug` (see debug_on.go for what they catch).
+
+func debugStampNode(t *Tape, n *Node) {}
+
+func debugCheckNode(n *Node, op string) {}
+
+func debugTapeReset(t *Tape) {}
+
+func debugTapeGot(t *Tape) {}
+
+func debugTapePut(t *Tape) {}

@@ -1,0 +1,36 @@
+//go:build wbdebug
+
+package ag
+
+import "fmt"
+
+// wbdebug tape-lifecycle instrumentation. Two failure modes of the arena
+// regime are silent in release builds and loud here:
+//
+//   - use-after-Reset: a node recorded before Tape.Reset whose memory now
+//     backs a different step's graph. Every node is stamped with the tape
+//     generation at recording time; touching its gradient under a newer
+//     generation panics.
+//   - double PutTape: returning a tape to the pool twice aliases one arena
+//     between two future holders — the worst kind of heisenbug. PutTape
+//     tracks pool residency and panics on the second return.
+
+func debugStampNode(t *Tape, n *Node) { n.gen = t.gen }
+
+func debugCheckNode(n *Node, op string) {
+	if n.t != nil && n.gen != n.t.gen {
+		panic(fmt.Sprintf("ag: %s on node recorded before Tape.Reset (node gen %d, tape gen %d)",
+			op, n.gen, n.t.gen))
+	}
+}
+
+func debugTapeReset(t *Tape) { t.gen++ }
+
+func debugTapeGot(t *Tape) { t.pooled = false }
+
+func debugTapePut(t *Tape) {
+	if t.pooled {
+		panic("ag: double PutTape — tape is already back in the pool")
+	}
+	t.pooled = true
+}

@@ -1,0 +1,64 @@
+//go:build wbdebug
+
+package ag
+
+import (
+	"strings"
+	"testing"
+
+	"webbrief/internal/tensor"
+)
+
+func mustPanic(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", substr)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v does not contain %q", r, substr)
+		}
+	}()
+	f()
+}
+
+// TestUseAfterResetPanics: running Backward on a node recorded before Reset
+// must trip the generation check instead of silently reading recycled arena
+// memory.
+func TestUseAfterResetPanics(t *testing.T) {
+	tp := NewArenaTape()
+	x := tp.Const(tensor.Full(2, 2, 1.5))
+	loss := tp.Mean(x)
+	tp.Reset()
+	mustPanic(t, "before Tape.Reset", func() { tp.Backward(loss) })
+}
+
+// TestStaleGradAccumulationPanics: a stale intermediate pulled into a fresh
+// graph is caught at its first gradient touch.
+func TestStaleGradAccumulationPanics(t *testing.T) {
+	tp := NewArenaTape()
+	x := tp.Const(tensor.Full(2, 2, 1.0))
+	y := tp.Tanh(x)
+	tp.Reset()
+	mustPanic(t, "before Tape.Reset", func() { y.addGrad(tensor.Full(2, 2, 1.0)) })
+}
+
+// TestDoublePutTapePanics: the second PutTape of the same tape must panic
+// rather than alias one arena between two future pool holders.
+func TestDoublePutTapePanics(t *testing.T) {
+	tp := GetTape()
+	PutTape(tp)
+	mustPanic(t, "double PutTape", func() { PutTape(tp) })
+}
+
+// TestPoolRoundTripStillWorks: Get → use → Put → Get must stay clean; the
+// lifecycle instrumentation must not misfire on the sanctioned pattern.
+func TestPoolRoundTripStillWorks(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		tp := GetTape()
+		x := tp.Const(tensor.Full(1, 1, 2.0))
+		tp.Backward(tp.Mean(x))
+		PutTape(tp)
+	}
+}

@@ -15,6 +15,7 @@ import "webbrief/internal/tensor"
 // (MergeInto zeroes them), so sinks add no steady-state allocation.
 type GradSink struct {
 	grads map[*Param]*tensor.Matrix
+	order []*Param // insertion order, so Reset never iterates the map
 }
 
 // NewGradSink returns an empty sink.
@@ -29,6 +30,7 @@ func (s *GradSink) Grad(p *Param) *tensor.Matrix {
 	if !ok {
 		g = tensor.New(p.Value.Rows, p.Value.Cols)
 		s.grads[p] = g
+		s.order = append(s.order, p)
 	}
 	return g
 }
@@ -46,8 +48,11 @@ func (s *GradSink) MergeInto(params []*Param) {
 }
 
 // Reset zeroes all shards without merging, discarding pending gradients.
+// Shards are visited in insertion order: zeroing commutes, but keeping every
+// state traversal off map order is the convention wbcheck's detmap pass
+// enforces repo-wide.
 func (s *GradSink) Reset() {
-	for _, g := range s.grads {
-		g.Zero()
+	for _, p := range s.order {
+		s.grads[p].Zero()
 	}
 }

@@ -1,0 +1,160 @@
+// Package analysis is a minimal, dependency-free static-analysis framework
+// in the spirit of golang.org/x/tools/go/analysis, built directly on go/ast
+// and go/types so the repository stays stdlib-only. It exists to machine-
+// enforce the engine's determinism and numeric-safety contracts: the
+// conventions PR 1's data-parallel trainer relies on (fixed-order gradient
+// merges, seed-derived RNGs, tape lifecycle discipline, shape-checked
+// kernels) are promises that nothing in the type system expresses, so
+// cmd/wbcheck runs the passes in the sibling packages over the whole tree
+// and fails the build on any violation.
+//
+// Type information comes from `go list -export`, which compiles dependencies
+// and hands back export data the stdlib gc importer can read — no vendored
+// tooling, no network.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a fully type-checked package via
+// the Pass and reports violations with Pass.Reportf.
+type Analyzer struct {
+	Name string // short kebab-free identifier, e.g. "detmap"
+	Doc  string // one-line contract the pass enforces
+	Run  func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pass string
+	Pos  token.Position
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Pass, d.Msg)
+}
+
+// Reportf records a violation at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pass: p.Analyzer.Name,
+		Pos:  p.Fset.Position(pos),
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Several contracts
+// (map-order determinism, literal seeds, exact float comparison) are
+// legitimately relaxed in tests — determinism tests in particular compare
+// floats bit-for-bit on purpose.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Run type-checks the packages matching patterns and applies every analyzer
+// to each, returning the surviving diagnostics sorted by position.
+// Violations annotated with a `//wbcheck:ignore [pass...]` comment on the
+// same line or the line above are suppressed.
+func Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, err := Load(patterns)
+	if err != nil {
+		return nil, err
+	}
+	return RunPackages(pkgs, analyzers), nil
+}
+
+// RunPackages applies the analyzers to already-loaded packages; see Run.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg)
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &pkgDiags,
+			}
+			a.Run(pass)
+		}
+		for _, d := range pkgDiags {
+			if !ignores.covers(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Pass < diags[j].Pass
+	})
+	return diags
+}
+
+// ignoreSet maps file -> line -> pass names ("" = all passes) for
+// wbcheck:ignore directives.
+type ignoreSet map[string]map[int][]string
+
+func (s ignoreSet) covers(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == "" || name == d.Pass {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func collectIgnores(pkg *Package) ignoreSet {
+	set := ignoreSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, "wbcheck:ignore") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					set[pos.Filename] = lines
+				}
+				names := strings.Fields(strings.TrimPrefix(text, "wbcheck:ignore"))
+				if len(names) == 0 {
+					names = []string{""}
+				}
+				lines[pos.Line] = append(lines[pos.Line], names...)
+			}
+		}
+	}
+	return set
+}

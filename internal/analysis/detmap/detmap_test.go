@@ -1,0 +1,12 @@
+package detmap_test
+
+import (
+	"testing"
+
+	"webbrief/internal/analysis/analysistest"
+	"webbrief/internal/analysis/detmap"
+)
+
+func TestDetmap(t *testing.T) {
+	analysistest.Run(t, detmap.Analyzer, "./testdata/src/a")
+}

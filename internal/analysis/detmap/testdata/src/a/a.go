@@ -1,0 +1,60 @@
+// Package a is a detmap fixture: known-good and known-bad map iteration
+// over model state.
+package a
+
+import (
+	"webbrief/internal/ag"
+	"webbrief/internal/tensor"
+)
+
+// BadShardIteration merges gradient shards in map order.
+func BadShardIteration(m map[*ag.Param]*tensor.Matrix, into *tensor.Matrix) {
+	for _, g := range m { // want "range over map"
+		into.AddInPlace(g)
+	}
+}
+
+// BadKeyOnly iterates parameter keys in map order.
+func BadKeyOnly(m map[*ag.Param]int) int {
+	total := 0
+	for range m { // want "range over map"
+		total++
+	}
+	return total
+}
+
+// BadNested flags maps holding slices of parameters too.
+func BadNested(groups map[string][]*ag.Param) {
+	for _, ps := range groups { // want "range over map"
+		for _, p := range ps {
+			p.ZeroGrad()
+		}
+	}
+}
+
+// GoodSliceOrder is the sanctioned pattern: an explicit slice fixes the
+// traversal order and the map is only used for lookup.
+func GoodSliceOrder(order []*ag.Param, m map[*ag.Param]*tensor.Matrix, into *tensor.Matrix) {
+	for _, p := range order {
+		if g, ok := m[p]; ok {
+			into.AddInPlace(g)
+		}
+	}
+}
+
+// GoodPlainMap iterates a map of plain values, which detmap does not police.
+func GoodPlainMap(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Suppressed shows the escape hatch for a reviewed, order-insensitive loop.
+func Suppressed(m map[*ag.Param]*tensor.Matrix) {
+	//wbcheck:ignore detmap
+	for _, g := range m {
+		g.Zero()
+	}
+}

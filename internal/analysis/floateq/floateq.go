@@ -1,0 +1,71 @@
+// Package floateq flags == and != between floating-point operands. After
+// any arithmetic, exact float equality is at best fragile and at worst a
+// scheduling-dependent branch: the data-parallel trainer only guarantees
+// bit-identical results for a FIXED worker count, so code that branches on
+// exact equality of computed values can diverge across configurations.
+// Compare against a tolerance (math.Abs(a-b) <= eps) or restructure to
+// integer counts.
+//
+// Two exemptions: comparisons where either side is a compile-time constant
+// zero (the sparsity-skip idiom `if a == 0 { continue }` is exact — IEEE
+// multiplication and addition by true zero never manufactures a near-zero),
+// and test files, where determinism tests compare floats bit-for-bit on
+// purpose.
+package floateq
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"webbrief/internal/analysis"
+)
+
+// Analyzer is the floateq pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "== / != between floating-point operands (non-zero) is unreliable",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, be.X) || !isFloat(pass, be.Y) {
+				return true
+			}
+			if isConstZero(pass, be.X) || isConstZero(pass, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s comparison; use a tolerance or integer counts", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConstZero(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	return v.Kind() == constant.Float && constant.Sign(v) == 0
+}

@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"webbrief/internal/analysis/analysistest"
+	"webbrief/internal/analysis/floateq"
+)
+
+func TestFloateq(t *testing.T) {
+	analysistest.Run(t, floateq.Analyzer, "./testdata/src/a")
+}

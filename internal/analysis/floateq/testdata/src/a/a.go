@@ -1,0 +1,51 @@
+// Package a is a floateq fixture: exact float comparisons, with the
+// constant-zero and integer exemptions.
+package a
+
+// BadEqual compares computed floats exactly.
+func BadEqual(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+// BadNotEqual on float32 operands.
+func BadNotEqual(a, b float32) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+// BadConstant compares against a non-zero constant, which is just as
+// fragile after arithmetic.
+func BadConstant(f1 float64) bool {
+	return f1 == 100 // want "floating-point == comparison"
+}
+
+// GoodZeroSkip is the exact sparsity idiom: true zero is preserved by IEEE
+// + and ×, so the comparison is reliable.
+func GoodZeroSkip(xs []float64) int {
+	n := 0
+	for _, x := range xs {
+		if x == 0 {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// GoodZeroFloatLiteral also compares against exact zero.
+func GoodZeroFloatLiteral(x float64) bool {
+	return x != 0.0
+}
+
+// GoodTolerance is the sanctioned comparison.
+func GoodTolerance(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+// GoodInts are not floats.
+func GoodInts(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,107 @@
+// Package seedrand enforces the engine's randomness contract: every RNG is
+// an explicit *rand.Rand constructed from a config seed, and hot training
+// paths never consult the wall clock.
+//
+// Three things are flagged, all outside test files:
+//
+//   - calls to math/rand package-level functions (Intn, Float64, Shuffle,
+//     Seed, ...) — these draw from the shared global source, whose state
+//     depends on everything else in the process;
+//   - rand.New(rand.NewSource(<constant literal>)) in library packages —
+//     a hard-coded seed is not derived from any config, so two components
+//     can silently share (or silently diverge in) their randomness; package
+//     main is exempt because there the literal IS the run's configured seed;
+//   - time.Now() in the numeric hot-path packages (ag, nn, wb, tensor,
+//     distill) — wall-clock reads make reruns irreproducible.
+package seedrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"webbrief/internal/analysis"
+)
+
+// Analyzer is the seedrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedrand",
+	Doc:  "RNGs must be built from explicit config seeds; no global source, no wall clock in hot paths",
+	Run:  run,
+}
+
+// hotPackages are the final import-path segments of the numeric packages in
+// which time.Now is forbidden.
+var hotPackages = map[string]bool{
+	"ag": true, "nn": true, "wb": true, "tensor": true, "distill": true,
+}
+
+func run(pass *analysis.Pass) {
+	isMain := pass.Pkg.Name() == "main"
+	hot := hotPackages[analysis.LastPathSegment(pass.Pkg.Path())]
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.CalleeFunc(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			// Package-level functions only: methods on an explicit
+			// *rand.Rand are the sanctioned API.
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				checkRand(pass, call, fn.Name(), isMain)
+			case "time":
+				if hot && fn.Name() == "Now" {
+					pass.Reportf(call.Pos(),
+						"time.Now in hot-path package %s makes runs irreproducible; thread timing through the caller",
+						pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// constructors are the math/rand package-level names that do NOT draw from
+// the global source.
+var constructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func checkRand(pass *analysis.Pass, call *ast.CallExpr, name string, isMain bool) {
+	if !constructors[name] {
+		pass.Reportf(call.Pos(),
+			"math/rand.%s uses the process-global source; construct rand.New(rand.NewSource(seed)) from a config seed",
+			name)
+		return
+	}
+	if name != "New" || isMain || len(call.Args) != 1 {
+		return
+	}
+	// rand.New(rand.NewSource(<const literal>)): the seed is hard-coded
+	// rather than derived from a config.
+	src, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	srcFn := pass.CalleeFunc(src)
+	if srcFn == nil || srcFn.Pkg() == nil || srcFn.Pkg().Path() != "math/rand" || srcFn.Name() != "NewSource" {
+		return
+	}
+	if len(src.Args) == 1 {
+		if tv, ok := pass.Info.Types[src.Args[0]]; ok && tv.Value != nil {
+			pass.Reportf(call.Pos(),
+				"rand.New seeded with constant %s; derive the seed from an explicit config (e.g. cfg.Seed)",
+				tv.Value)
+		}
+	}
+}

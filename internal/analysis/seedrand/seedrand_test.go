@@ -1,0 +1,20 @@
+package seedrand_test
+
+import (
+	"testing"
+
+	"webbrief/internal/analysis/analysistest"
+	"webbrief/internal/analysis/seedrand"
+)
+
+func TestSeedrandLibrary(t *testing.T) {
+	analysistest.Run(t, seedrand.Analyzer, "./testdata/src/a")
+}
+
+func TestSeedrandHotPath(t *testing.T) {
+	analysistest.Run(t, seedrand.Analyzer, "./testdata/src/ag")
+}
+
+func TestSeedrandMainPackage(t *testing.T) {
+	analysistest.Run(t, seedrand.Analyzer, "./testdata/src/cmd")
+}

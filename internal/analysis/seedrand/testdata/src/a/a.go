@@ -1,0 +1,46 @@
+// Package a is a seedrand fixture: global-source draws and hard-coded
+// seeds in a library (non-main, non-hot) package.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Config carries an explicit seed, the sanctioned source of randomness.
+type Config struct {
+	Seed int64
+}
+
+// BadGlobalDraws consume the process-global source.
+func BadGlobalDraws() int {
+	n := rand.Intn(10)                 // want "global source"
+	_ = rand.Float64()                 // want "global source"
+	rand.Shuffle(3, func(i, j int) {}) // want "global source"
+	return n
+}
+
+// BadLiteralSeed hard-codes the seed instead of taking it from a config.
+func BadLiteralSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want "constant 42"
+}
+
+// GoodConfigSeed derives its RNG from an explicit config seed.
+func GoodConfigSeed(cfg Config) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed))
+}
+
+// GoodDerivedSeed mixes a config seed; the expression is non-constant.
+func GoodDerivedSeed(cfg Config, epoch int) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed + int64(epoch)*1001))
+}
+
+// GoodMethodDraws use an explicit RNG, which is always fine.
+func GoodMethodDraws(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+// GoodClock is allowed here: package a is not a hot-path package.
+func GoodClock() time.Time {
+	return time.Now()
+}

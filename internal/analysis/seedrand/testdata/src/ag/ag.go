@@ -1,0 +1,15 @@
+// Package ag is a seedrand fixture whose final import-path segment matches
+// a hot-path package name, so wall-clock reads are forbidden.
+package ag
+
+import "time"
+
+// BadClock reads the wall clock inside a (mock) hot path.
+func BadClock() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+// GoodThreadedTime receives timing from the caller instead.
+func GoodThreadedTime(now time.Time) int64 {
+	return now.UnixNano()
+}

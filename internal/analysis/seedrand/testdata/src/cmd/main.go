@@ -1,0 +1,12 @@
+// Command main is a seedrand fixture: in package main a literal seed IS the
+// run's configuration, so rand.New(rand.NewSource(<literal>)) is allowed;
+// global-source draws are still not.
+package main
+
+import "math/rand"
+
+func main() {
+	rng := rand.New(rand.NewSource(17)) // literal seed OK in main
+	_ = rng.Intn(3)
+	_ = rand.Intn(3) // want "global source"
+}

@@ -1,0 +1,12 @@
+package shapedoc_test
+
+import (
+	"testing"
+
+	"webbrief/internal/analysis/analysistest"
+	"webbrief/internal/analysis/shapedoc"
+)
+
+func TestShapedoc(t *testing.T) {
+	analysistest.Run(t, shapedoc.Analyzer, "./testdata/src/tensor")
+}

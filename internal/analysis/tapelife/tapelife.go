@@ -1,0 +1,137 @@
+// Package tapelife enforces the pooled-tape lifecycle around ag.GetTape /
+// ag.PutTape. A tape taken from the pool and never returned leaks its
+// arenas; one returned on only some paths corrupts the pool on panic. The
+// contract is the pattern used throughout internal/wb:
+//
+//	t := ag.GetTape()
+//	defer ag.PutTape(t)
+//
+// Two violations are flagged, per function literal or declaration:
+//
+//   - an ag.GetTape call in a function (or closure) with no deferred
+//     ag.PutTape in that same function — a closure's deferred PutTape does
+//     not cover its enclosing function's tape, and vice versa;
+//   - Tape.Reset on a variable bound to a GetTape result: GetTape already
+//     returns a reset tape, and a mid-lifetime Reset invalidates nodes the
+//     surrounding code may still hold (exactly the use-after-Reset class the
+//     wbdebug runtime layer traps).
+package tapelife
+
+import (
+	"go/ast"
+	"go/types"
+
+	"webbrief/internal/analysis"
+)
+
+// Analyzer is the tapelife pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "tapelife",
+	Doc:  "ag.GetTape requires a deferred ag.PutTape in the same function; never Reset a pooled tape",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkScope(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkScope(pass, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkScope inspects one function body without descending into nested
+// function literals (each gets its own checkScope call from run).
+func checkScope(pass *analysis.Pass, body *ast.BlockStmt) {
+	var getCalls []*ast.CallExpr
+	pooled := map[types.Object]bool{}
+	hasDeferredPut := false
+	var resets []struct {
+		call *ast.CallExpr
+		obj  types.Object
+	}
+
+	walkScope(body, func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			if isAgFunc(pass, st.Call, "PutTape") {
+				hasDeferredPut = true
+			}
+		case *ast.AssignStmt:
+			if len(st.Rhs) == 1 && len(st.Lhs) == 1 {
+				if call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr); ok && isAgFunc(pass, call, "GetTape") {
+					if id, ok := st.Lhs[0].(*ast.Ident); ok {
+						if obj := objectOf(pass, id); obj != nil {
+							pooled[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isAgFunc(pass, st, "GetTape") {
+				getCalls = append(getCalls, st)
+			}
+			if sel, ok := st.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Reset" {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if obj := objectOf(pass, id); obj != nil {
+						resets = append(resets, struct {
+							call *ast.CallExpr
+							obj  types.Object
+						}{st, obj})
+					}
+				}
+			}
+		}
+	})
+
+	if !hasDeferredPut {
+		for _, call := range getCalls {
+			pass.Reportf(call.Pos(),
+				"ag.GetTape without a deferred ag.PutTape in the same function leaks the pooled tape")
+		}
+	}
+	for _, r := range resets {
+		if pooled[r.obj] {
+			pass.Reportf(r.call.Pos(),
+				"Reset on pooled tape %s: GetTape returns a reset tape, and a mid-lifetime Reset invalidates live nodes",
+				r.obj.Name())
+		}
+	}
+}
+
+// walkScope visits every node under body except the interiors of nested
+// function literals.
+func walkScope(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// isAgFunc reports whether call invokes the named package-level function of
+// webbrief/internal/ag (resolving both `ag.GetTape()` and, inside package ag
+// itself, plain `GetTape()`).
+func isAgFunc(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	fn := pass.CalleeFunc(call)
+	return fn != nil && fn.Pkg() != nil &&
+		fn.Pkg().Path() == "webbrief/internal/ag" && fn.Name() == name
+}
+
+func objectOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Defs[id]
+}

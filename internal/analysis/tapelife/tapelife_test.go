@@ -1,0 +1,12 @@
+package tapelife_test
+
+import (
+	"testing"
+
+	"webbrief/internal/analysis/analysistest"
+	"webbrief/internal/analysis/tapelife"
+)
+
+func TestTapelife(t *testing.T) {
+	analysistest.Run(t, tapelife.Analyzer, "./testdata/src/a")
+}

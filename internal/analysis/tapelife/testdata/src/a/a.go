@@ -1,0 +1,54 @@
+// Package a is a tapelife fixture: pooled-tape lifecycle violations and the
+// sanctioned get/defer-put pattern.
+package a
+
+import "webbrief/internal/ag"
+
+// BadLeak takes a pooled tape and never returns it.
+func BadLeak() int {
+	t := ag.GetTape() // want "without a deferred ag.PutTape"
+	return t.Len()
+}
+
+// BadNonDeferredPut returns the tape, but not via defer: a panic between
+// Get and Put corrupts the pool.
+func BadNonDeferredPut() {
+	t := ag.GetTape() // want "without a deferred ag.PutTape"
+	ag.PutTape(t)
+}
+
+// BadPooledReset resets a pooled tape mid-lifetime.
+func BadPooledReset() {
+	t := ag.GetTape()
+	defer ag.PutTape(t)
+	t.Reset() // want "Reset on pooled tape"
+}
+
+// BadClosureScope: the closure's deferred PutTape covers the closure's own
+// tape, not the enclosing function's.
+func BadClosureScope() {
+	outer := ag.GetTape() // want "without a deferred ag.PutTape"
+	f := func() {
+		inner := ag.GetTape()
+		defer ag.PutTape(inner)
+		_ = inner.Len()
+	}
+	f()
+	_ = outer.Len()
+}
+
+// Good is the sanctioned pattern.
+func Good() int {
+	t := ag.GetTape()
+	defer ag.PutTape(t)
+	return t.Len()
+}
+
+// GoodPrivateReset resets a private arena tape, which is exactly what Reset
+// is for — only pooled tapes are off limits.
+func GoodPrivateReset() {
+	t := ag.NewArenaTape()
+	for i := 0; i < 3; i++ {
+		t.Reset()
+	}
+}

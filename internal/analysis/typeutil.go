@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CalleeFunc resolves the *types.Func a call expression invokes, or nil for
+// indirect calls, conversions and builtins. It sees through parentheses and
+// both ident and selector callees.
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// IsNamed reports whether t (after stripping pointers) is the named type
+// pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// LastPathSegment returns the final element of an import path ("ag" for
+// "webbrief/internal/ag").
+func LastPathSegment(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -55,6 +55,27 @@ func SpanPRF1(pred, gold [][]Span) PRF1 {
 	return PRF1{Precision: prec * 100, Recall: rec * 100, F1: f1 * 100}
 }
 
+// SpansEqual reports whether two span lists are identical as multisets —
+// the "fully correct extraction" criterion for paired significance tests.
+// Comparing span sets directly avoids the float round trip of checking
+// F1 == 100.
+func SpansEqual(a, b []Span) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := make(map[Span]int, len(a))
+	for _, s := range a {
+		counts[s]++
+	}
+	for _, s := range b {
+		counts[s]--
+		if counts[s] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // SpansFromBIO decodes a BIO tag sequence (0=O, 1=B, 2=I) into spans. An I
 // without a preceding B opens a new span, the conventional lenient decode.
 func SpansFromBIO(tags []int) []Span {

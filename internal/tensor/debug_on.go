@@ -1,0 +1,22 @@
+//go:build wbdebug
+
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// debugFinite panics on the first NaN or Inf in dst, naming the kernel that
+// produced it and the offending cell. Every destination-passing kernel in
+// into.go calls it on the way out, so under `-tags wbdebug` a numeric blowup
+// is caught at the op that created it — not epochs later as a NaN loss. The
+// distillation pipeline is the motivating consumer: a teacher that goes
+// non-finite silently poisons every student loss downstream.
+func debugFinite(op string, dst *Matrix) {
+	for i, v := range dst.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			panic(fmt.Sprintf("tensor: %s produced non-finite %v at (%d,%d)", op, v, i/dst.Cols, i%dst.Cols))
+		}
+	}
+}

@@ -1,0 +1,52 @@
+//go:build wbdebug
+
+package tensor
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustPanicFinite(t *testing.T, kernel string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected non-finite panic from %s, got none", kernel)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, kernel) || !strings.Contains(msg, "non-finite") {
+			t.Fatalf("panic %v does not name kernel %s as non-finite source", r, kernel)
+		}
+	}()
+	f()
+}
+
+// TestFiniteGuardTrapsNaN: a NaN flowing through a destination-passing
+// kernel must be reported by that kernel, under its name.
+func TestFiniteGuardTrapsNaN(t *testing.T) {
+	a := Full(2, 2, 1)
+	b := Full(2, 2, 2)
+	a.Data[3] = math.NaN()
+	mustPanicFinite(t, "AddInto", func() { AddInto(New(2, 2), a, b) })
+}
+
+// TestFiniteGuardTrapsInf: overflow to +Inf is caught at the producing
+// kernel (here scaling by an enormous factor).
+func TestFiniteGuardTrapsInf(t *testing.T) {
+	a := Full(1, 2, math.MaxFloat64)
+	mustPanicFinite(t, "ScaleInto", func() { ScaleInto(New(1, 2), a, 2) })
+}
+
+// TestFiniteGuardPassesCleanData: ordinary finite data must flow through
+// guarded kernels untouched.
+func TestFiniteGuardPassesCleanData(t *testing.T) {
+	a := Full(2, 3, 0.5)
+	b := Full(2, 3, -0.25)
+	dst := New(2, 3)
+	AddInto(dst, a, b)
+	if dst.Data[0] != 0.25 {
+		t.Fatalf("AddInto produced %v, want 0.25", dst.Data[0])
+	}
+}

@@ -24,6 +24,7 @@ func AddInto(dst, a, b *Matrix) {
 	for i, v := range a.Data {
 		dst.Data[i] = v + b.Data[i]
 	}
+	debugFinite("AddInto", dst)
 }
 
 // SubInto sets dst = a - b.
@@ -33,6 +34,7 @@ func SubInto(dst, a, b *Matrix) {
 	for i, v := range a.Data {
 		dst.Data[i] = v - b.Data[i]
 	}
+	debugFinite("SubInto", dst)
 }
 
 // MulInto sets dst = a ⊙ b.
@@ -42,6 +44,7 @@ func MulInto(dst, a, b *Matrix) {
 	for i, v := range a.Data {
 		dst.Data[i] = v * b.Data[i]
 	}
+	debugFinite("MulInto", dst)
 }
 
 // ScaleInto sets dst = s*a.
@@ -50,6 +53,7 @@ func ScaleInto(dst, a *Matrix, s float64) {
 	for i, v := range a.Data {
 		dst.Data[i] = s * v
 	}
+	debugFinite("ScaleInto", dst)
 }
 
 // AddRowVectorInto sets dst = a with the 1×cols vector v added to each row.
@@ -65,6 +69,7 @@ func AddRowVectorInto(dst, a, v *Matrix) {
 			out[j] = x + v.Data[j]
 		}
 	}
+	debugFinite("AddRowVectorInto", dst)
 }
 
 // MatMulInto accumulates dst += m·o. dst must be zeroed for a plain product.
@@ -74,6 +79,7 @@ func MatMulInto(dst, m, o *Matrix) {
 	}
 	dstShapeCheck(dst, m.Rows, o.Cols, "MatMulInto")
 	matMulInto(dst, m, o)
+	debugFinite("MatMulInto", dst)
 }
 
 // MatMulTransBInto sets dst = m·oᵀ (every cell written, no zeroing needed).
@@ -94,6 +100,7 @@ func MatMulTransBInto(dst, m, o *Matrix) {
 			rRow[j] = s
 		}
 	}
+	debugFinite("MatMulTransBInto", dst)
 }
 
 // MatMulTransAInto accumulates dst += mᵀ·o. dst must be zeroed for a plain
@@ -116,6 +123,7 @@ func MatMulTransAInto(dst, m, o *Matrix) {
 			}
 		}
 	}
+	debugFinite("MatMulTransAInto", dst)
 }
 
 // TransposeInto sets dst = mᵀ.
@@ -126,6 +134,7 @@ func TransposeInto(dst, m *Matrix) {
 			dst.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
 		}
 	}
+	debugFinite("TransposeInto", dst)
 }
 
 // TanhInto sets dst = tanh(m) elementwise.
@@ -134,6 +143,7 @@ func TanhInto(dst, m *Matrix) {
 	for i, v := range m.Data {
 		dst.Data[i] = math.Tanh(v)
 	}
+	debugFinite("TanhInto", dst)
 }
 
 // SigmoidInto sets dst = σ(m) elementwise.
@@ -142,6 +152,7 @@ func SigmoidInto(dst, m *Matrix) {
 	for i, v := range m.Data {
 		dst.Data[i] = 1 / (1 + math.Exp(-v))
 	}
+	debugFinite("SigmoidInto", dst)
 }
 
 // ReLUInto sets dst = max(0, m) elementwise.
@@ -154,6 +165,7 @@ func ReLUInto(dst, m *Matrix) {
 			dst.Data[i] = 0
 		}
 	}
+	debugFinite("ReLUInto", dst)
 }
 
 // SoftmaxRowsInto sets dst to the row-wise softmax of m.
@@ -162,6 +174,7 @@ func SoftmaxRowsInto(dst, m *Matrix) {
 	for i := 0; i < m.Rows; i++ {
 		softmaxInto(dst.Row(i), m.Row(i))
 	}
+	debugFinite("SoftmaxRowsInto", dst)
 }
 
 // LogSoftmaxRowsInto sets dst to the row-wise log-softmax of m.
@@ -185,6 +198,7 @@ func LogSoftmaxRowsInto(dst, m *Matrix) {
 			out[j] = v - lse
 		}
 	}
+	debugFinite("LogSoftmaxRowsInto", dst)
 }
 
 // ConcatRowsInto stacks ms vertically into dst.
@@ -200,6 +214,7 @@ func ConcatRowsInto(dst *Matrix, ms ...*Matrix) {
 	if off != len(dst.Data) {
 		panic("tensor: ConcatRowsInto row count mismatch")
 	}
+	debugFinite("ConcatRowsInto", dst)
 }
 
 // ConcatColsInto joins ms horizontally into dst.
@@ -218,4 +233,5 @@ func ConcatColsInto(dst *Matrix, ms ...*Matrix) {
 			panic("tensor: ConcatColsInto col count mismatch")
 		}
 	}
+	debugFinite("ConcatColsInto", dst)
 }

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Pre-merge gate for webbrief. Run from the repo root before every merge:
+#
+#     ./scripts/check.sh          # full gate (~2 min, dominated by fuzzing)
+#     FUZZTIME=0 ./scripts/check.sh   # skip the fuzz smoke for quick loops
+#
+# Order is cheapest-first so failures surface fast: build, vet, the wbcheck
+# determinism/numeric-safety lints, the race-enabled unit tests for the two
+# concurrency-bearing packages, then a short coverage-guided fuzz smoke over
+# every fuzz target (seeded from the crasher-shaped corpora under
+# testdata/fuzz/). wbdebug-tagged tests exercise the runtime invariant layer
+# (NaN/Inf kernel guards, tape lifecycle checks).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME=${FUZZTIME:-20s}
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== wbcheck (determinism + numeric-safety lints)"
+go run ./cmd/wbcheck ./...
+
+echo "== race-enabled tests (ag, wb)"
+go test -race ./internal/ag ./internal/wb
+
+echo "== wbdebug invariant layer"
+go test -tags wbdebug ./internal/ag ./internal/tensor
+
+if [[ "$FUZZTIME" != "0" ]]; then
+    echo "== fuzz smoke (${FUZZTIME} per target)"
+    go test -run='^$' -fuzz=FuzzParse -fuzztime="$FUZZTIME" ./internal/htmldom
+    go test -run='^$' -fuzz=FuzzUnescapeEntities -fuzztime="$FUZZTIME" ./internal/htmldom
+    go test -run='^$' -fuzz=FuzzNormalize -fuzztime="$FUZZTIME" ./internal/textproc
+    go test -run='^$' -fuzz=FuzzWordPiece -fuzztime="$FUZZTIME" ./internal/textproc
+fi
+
+echo "ALL CHECKS PASSED"
