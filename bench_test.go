@@ -7,11 +7,18 @@ package webbrief_test
 
 import (
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"webbrief/internal/corpus"
 	"webbrief/internal/experiments"
+	"webbrief/internal/serve"
 	"webbrief/internal/tensor"
+	"webbrief/internal/textproc"
 	"webbrief/internal/wb"
 )
 
@@ -105,6 +112,77 @@ func BenchmarkBrief(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		wb.MakeBrief(m, insts[i%len(insts)], v, 4)
 	}
+}
+
+// serveBenchModel builds the small Joint-WB + page used by the serving
+// benchmarks (untrained weights; serving cost is weight-independent).
+func serveBenchModel(b *testing.B) (*wb.JointWB, *textproc.Vocab, string) {
+	b.Helper()
+	ds, err := corpus.Generate(corpus.Config{Seed: 1, PagesPerDomain: 2, SeenDomains: 2, UnseenDomains: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := corpus.BuildVocab(ds.Pages)
+	enc := wb.NewGloVeEncoder(tensor.Randn(v.Size(), 16, 0.1, rand.New(rand.NewSource(1))))
+	cfg := wb.DefaultConfig()
+	cfg.Hidden = 16
+	m := wb.NewJointWB("bench", enc, v.Size(), cfg)
+	return m, v, ds.Pages[0].HTML
+}
+
+// benchHTTPPath drives handler with GOMAXPROCS client goroutines through
+// the full in-process HTTP path (request parse, admission, briefing, JSON
+// response) and fails on any non-200.
+func benchHTTPPath(b *testing.B, handler http.Handler, html string) {
+	b.Helper()
+	var bad atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodPost, "/brief", strings.NewReader(html))
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				bad.Add(1)
+			}
+		}
+	})
+	b.StopTimer()
+	if n := bad.Load(); n > 0 {
+		b.Fatalf("%d requests failed", n)
+	}
+}
+
+// BenchmarkServeBrief measures briefing throughput through the concurrent
+// serving subsystem (internal/serve) at two pool sizes: a single replica
+// (all clients contend for one model) and GOMAXPROCS replicas (each client
+// can hold its own). Run with -cpu N>1 to see the multi-replica scaling;
+// compare against BenchmarkServeBriefSerialMutex, the pre-pool wb.Briefer
+// path that serialises every forward behind one lock.
+func BenchmarkServeBrief(b *testing.B) {
+	bench := func(replicas int) func(*testing.B) {
+		return func(b *testing.B) {
+			m, v, html := serveBenchModel(b)
+			srv, err := serve.New(m, v, serve.Config{
+				Replicas: replicas, QueueDepth: 1 << 16, BeamWidth: 4,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchHTTPPath(b, srv.Handler(), html)
+		}
+	}
+	b.Run("replicas=1", bench(1))
+	b.Run("replicas=max", bench(runtime.GOMAXPROCS(0)))
+}
+
+// BenchmarkServeBriefSerialMutex is the before-picture: the wb.Briefer
+// handler whose single mutex serialises every briefing, under the same
+// concurrent client load as BenchmarkServeBrief.
+func BenchmarkServeBriefSerialMutex(b *testing.B) {
+	m, v, html := serveBenchModel(b)
+	benchHTTPPath(b, wb.NewBriefer(m, v, 4, 0), html)
 }
 
 // BenchmarkTeacherEpoch times one training epoch of the Joint-WB teacher at

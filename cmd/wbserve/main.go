@@ -1,22 +1,33 @@
 // Command wbserve serves webpage briefings over HTTP — the deployment form
-// §I motivates ("the functionality of WB may be added to web browsers").
-// POST a page's HTML to /brief and receive the hierarchical briefing as
-// JSON.
+// §I motivates ("the functionality of WB may be added to web browsers") —
+// on the concurrent serving subsystem of internal/serve: a pool of model
+// replicas briefs requests in parallel, a bounded admission queue sheds
+// overload with 429, and /metrics exposes counters and per-stage latency
+// histograms.
 //
 // Usage:
 //
-//	wbserve -model model.bin -addr :8080
+//	wbserve -model model.bin -addr :8080 -replicas 4 -queue 64 -timeout 30s
 //	curl -s --data-binary @page.html http://localhost:8080/brief
+//	curl -s http://localhost:8080/metrics
 //
-// Train a model bundle first with cmd/wbtrain.
+// Train a model bundle first with cmd/wbtrain. SIGINT/SIGTERM drain
+// gracefully: /healthz flips to 503, in-flight briefings finish, then the
+// listener closes.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"webbrief/internal/serve"
 	"webbrief/internal/wb"
 )
 
@@ -26,6 +37,12 @@ func main() {
 	modelPath := flag.String("model", "model.bin", "model bundle from wbtrain")
 	addr := flag.String("addr", ":8080", "listen address")
 	beam := flag.Int("beam", 8, "beam width for topic decoding")
+	replicas := flag.Int("replicas", 0, "model replicas serving concurrently (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "requests allowed to wait for a replica before 429 (-1 = none)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline, queue wait included (0 = none)")
+	maxBody := flag.Int64("maxbody", serve.DefaultMaxBodyBytes, "request body limit in bytes (over-limit bodies get 413)")
+	drainWait := flag.Duration("drain", 30*time.Second, "max time to drain in-flight briefings on shutdown")
+	quiet := flag.Bool("quiet", false, "disable the JSON access log on stderr")
 	flag.Parse()
 
 	f, err := os.Open(*modelPath)
@@ -38,11 +55,42 @@ func main() {
 		log.Fatal(err)
 	}
 
-	mux := http.NewServeMux()
-	mux.Handle("/brief", wb.NewBriefer(m, v, *beam, 0))
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-	})
-	log.Printf("serving briefings on %s (POST HTML to /brief)", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	cfg := serve.Config{
+		Replicas:     *replicas,
+		QueueDepth:   *queue,
+		Timeout:      *timeout,
+		MaxBodyBytes: *maxBody,
+		BeamWidth:    *beam,
+	}
+	if !*quiet {
+		cfg.AccessLog = os.Stderr
+	}
+	srv, err := serve.New(m, v, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("serving briefings on %s: %d replicas, queue %d, timeout %v (POST HTML to /brief; /healthz, /metrics)",
+		*addr, srv.Pool().Size(), *queue, *timeout)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("draining (max %v)...", *drainWait)
+	srv.BeginShutdown() // /healthz now 503; new briefings refused
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Printf("drained, bye")
 }

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMS are the fixed histogram bucket upper bounds, in
+// milliseconds. The last slot of a Histogram's counts is the overflow
+// bucket (> 1s). Fixed buckets keep observation lock-free (one atomic add)
+// and make /metrics output directly comparable across runs.
+var latencyBucketsMS = []float64{0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+
+// histogram is a fixed-bucket latency histogram safe for concurrent
+// observation. Sum is tracked in microseconds so it stays an integer add.
+type histogram struct {
+	counts [12]atomic.Int64 // len(latencyBucketsMS) + overflow
+	count  atomic.Int64
+	sumUS  atomic.Int64
+}
+
+// Observe records one duration.
+func (h *histogram) Observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBucketsMS) && ms > latencyBucketsMS[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(d.Microseconds())
+}
+
+// snapshot renders the histogram for /metrics.
+func (h *histogram) snapshot() histogramSnapshot {
+	s := histogramSnapshot{
+		BucketsMS: latencyBucketsMS,
+		Counts:    make([]int64, len(h.counts)),
+		Count:     h.count.Load(),
+		SumMS:     float64(h.sumUS.Load()) / 1e3,
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// histogramSnapshot is the JSON form of one histogram. Counts has one extra
+// trailing slot: observations above the last bucket bound.
+type histogramSnapshot struct {
+	BucketsMS []float64 `json:"buckets_ms"`
+	Counts    []int64   `json:"counts"`
+	Count     int64     `json:"count"`
+	SumMS     float64   `json:"sum_ms"`
+}
+
+// Metrics aggregates the serving counters exported at /metrics. All fields
+// are atomics: the hot path never takes a lock to record.
+type Metrics struct {
+	// Requests counts every request that reached the /brief handler,
+	// whatever its outcome. The outcome counters below partition it.
+	Requests atomic.Int64
+
+	OK          atomic.Int64 // 200: briefing served
+	BadMethod   atomic.Int64 // 405: non-POST
+	BadRequest  atomic.Int64 // 400: unreadable body
+	TooLarge    atomic.Int64 // 413: body over the limit
+	Unbriefable atomic.Int64 // 422: no visible text
+	Overload    atomic.Int64 // 429: admission queue full
+	Timeout     atomic.Int64 // 504: deadline expired in queue or pipeline
+	Canceled    atomic.Int64 // client disconnected before a response
+	Draining    atomic.Int64 // 503: received during shutdown
+
+	InFlight atomic.Int64 // requests holding (or briefing on) a replica
+	Queued   atomic.Int64 // requests waiting for a replica
+
+	QueueWait histogram // time from admission to replica checkout
+	Parse     histogram // HTML → instance
+	Encode    histogram // eval forward → attributes + sections
+	Decode    histogram // beam-search topic generation
+	Total     histogram // handler entry → response written
+}
+
+// metricsSnapshot is the JSON document served at /metrics. Struct (not
+// map) so field order is stable across scrapes.
+type metricsSnapshot struct {
+	RequestsTotal int64 `json:"requests_total"`
+	Responses     struct {
+		OK          int64 `json:"ok"`
+		BadMethod   int64 `json:"bad_method"`
+		BadRequest  int64 `json:"bad_request"`
+		TooLarge    int64 `json:"too_large"`
+		Unbriefable int64 `json:"unbriefable"`
+		Overload    int64 `json:"overload"`
+		Timeout     int64 `json:"timeout"`
+		Canceled    int64 `json:"canceled"`
+		Draining    int64 `json:"draining"`
+	} `json:"responses"`
+	InFlight   int64 `json:"in_flight"`
+	QueueDepth int64 `json:"queue_depth"`
+	Pool       struct {
+		Replicas int `json:"replicas"`
+		Idle     int `json:"idle"`
+	} `json:"pool"`
+	LatencyMS struct {
+		QueueWait histogramSnapshot `json:"queue_wait"`
+		Parse     histogramSnapshot `json:"parse"`
+		Encode    histogramSnapshot `json:"encode"`
+		Decode    histogramSnapshot `json:"decode"`
+		Total     histogramSnapshot `json:"total"`
+	} `json:"latency_ms"`
+}
+
+// snapshot collects a point-in-time view of every counter.
+func (m *Metrics) snapshot(pool *Pool) metricsSnapshot {
+	var s metricsSnapshot
+	s.RequestsTotal = m.Requests.Load()
+	s.Responses.OK = m.OK.Load()
+	s.Responses.BadMethod = m.BadMethod.Load()
+	s.Responses.BadRequest = m.BadRequest.Load()
+	s.Responses.TooLarge = m.TooLarge.Load()
+	s.Responses.Unbriefable = m.Unbriefable.Load()
+	s.Responses.Overload = m.Overload.Load()
+	s.Responses.Timeout = m.Timeout.Load()
+	s.Responses.Canceled = m.Canceled.Load()
+	s.Responses.Draining = m.Draining.Load()
+	s.InFlight = m.InFlight.Load()
+	s.QueueDepth = m.Queued.Load()
+	s.Pool.Replicas = pool.Size()
+	s.Pool.Idle = pool.Idle()
+	s.LatencyMS.QueueWait = m.QueueWait.snapshot()
+	s.LatencyMS.Parse = m.Parse.snapshot()
+	s.LatencyMS.Encode = m.Encode.snapshot()
+	s.LatencyMS.Decode = m.Decode.snapshot()
+	s.LatencyMS.Total = m.Total.snapshot()
+	return s
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"webbrief/internal/textproc"
+	"webbrief/internal/wb"
+)
+
+// Replica is one independently-forwardable briefing engine, checked out of
+// a Pool for the duration of a request. The three methods are the stages of
+// the briefing pipeline, split so the serving layer can time each one and
+// check the request deadline between them:
+//
+//	Parse:  raw HTML → model instance (DOM parse, visible text, encoding)
+//	Encode: eval forward pass → attributes + section flags
+//	Decode: beam-search topic generation
+type Replica interface {
+	Parse(html string) (*wb.Instance, error)
+	Encode(inst *wb.Instance) *wb.Brief
+	Decode(inst *wb.Instance, b *wb.Brief)
+}
+
+// modelReplica adapts one Joint-WB model (the original or a
+// wb.CloneForServing copy) to the Replica interface. The vocabulary is
+// shared across all replicas: it is read-only after construction.
+type modelReplica struct {
+	model     wb.Model
+	vocab     *textproc.Vocab
+	beam      int
+	maxTokens int
+}
+
+// Parse implements Replica.
+func (r *modelReplica) Parse(html string) (*wb.Instance, error) {
+	inst := wb.InstanceFromHTML(html, r.vocab, r.maxTokens)
+	if inst.NumSents() == 0 {
+		return nil, fmt.Errorf("serve: no visible text in page")
+	}
+	return inst, nil
+}
+
+// Encode implements Replica.
+func (r *modelReplica) Encode(inst *wb.Instance) *wb.Brief {
+	return wb.ExtractBrief(r.model, inst, r.vocab)
+}
+
+// Decode implements Replica.
+func (r *modelReplica) Decode(inst *wb.Instance, b *wb.Brief) {
+	b.Topic = wb.DecodeTopic(r.model, inst, r.vocab, r.beam)
+}
+
+// Pool holds a fixed set of interchangeable eval-mode replicas. A request
+// checks one out with Get, briefs on it exclusively, and returns it with
+// Put — so up to Size briefings proceed concurrently with no shared mutex,
+// unlike wb.Briefer which serialises every forward pass behind one lock.
+type Pool struct {
+	size int
+	idle chan Replica
+}
+
+// NewPool builds n replicas of m (0 → GOMAXPROCS): the original model plus
+// n-1 wb.CloneForServing copies that share only the read-only embedding
+// table. beam and maxTokens configure each replica exactly like
+// wb.NewBriefer, so pooled briefings are identical to the serial path's.
+func NewPool(m *wb.JointWB, v *textproc.Vocab, n, beam, maxTokens int) (*Pool, error) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	replicas := make([]Replica, n)
+	replicas[0] = &modelReplica{model: m, vocab: v, beam: beam, maxTokens: maxTokens}
+	for i := 1; i < n; i++ {
+		c, err := wb.CloneForServing(m, v)
+		if err != nil {
+			return nil, fmt.Errorf("serve: replica %d: %w", i, err)
+		}
+		replicas[i] = &modelReplica{model: c, vocab: v, beam: beam, maxTokens: maxTokens}
+	}
+	return PoolOf(replicas...), nil
+}
+
+// PoolOf wraps pre-built replicas — the seam for serving a non-GloVe model
+// or, in tests, replicas with controlled latency.
+func PoolOf(replicas ...Replica) *Pool {
+	p := &Pool{size: len(replicas), idle: make(chan Replica, len(replicas))}
+	for _, r := range replicas {
+		p.idle <- r
+	}
+	return p
+}
+
+// Get checks a replica out, blocking until one is idle or ctx is done.
+func (p *Pool) Get(ctx context.Context) (Replica, error) {
+	select {
+	case r := <-p.idle:
+		return r, nil
+	default:
+	}
+	select {
+	case r := <-p.idle:
+		return r, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// TryGet checks a replica out only if one is idle right now.
+func (p *Pool) TryGet() (Replica, bool) {
+	select {
+	case r := <-p.idle:
+		return r, true
+	default:
+		return nil, false
+	}
+}
+
+// Put returns a replica to the pool.
+func (p *Pool) Put(r Replica) { p.idle <- r }
+
+// Size is the number of replicas the pool was built with.
+func (p *Pool) Size() int { return p.size }
+
+// Idle is the number of replicas currently checked in.
+func (p *Pool) Idle() int { return len(p.idle) }

@@ -1,0 +1,385 @@
+// Package serve is the production HTTP serving subsystem for webpage
+// briefings — the deployment form §I motivates, built to the ROADMAP's
+// heavy-traffic north star. It replaces the single-mutex wb.Briefer path
+// with:
+//
+//   - a replica pool: N independent eval-mode model copies (see
+//     wb.CloneForServing) checked out per request, so briefings scale
+//     across GOMAXPROCS instead of serialising on one lock;
+//   - admission control: a bounded wait queue that sheds load with
+//     429 + Retry-After instead of collapsing, per-request deadlines via
+//     context, and 413 for oversized bodies;
+//   - observability: a stdlib-only /metrics endpoint (atomic counters and
+//     fixed-bucket latency histograms per pipeline stage) and structured
+//     JSON access logs;
+//   - lifecycle: /healthz reporting pool readiness, and draining shutdown
+//     that finishes in-flight briefings.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"webbrief/internal/textproc"
+	"webbrief/internal/wb"
+)
+
+// DefaultMaxBodyBytes bounds a briefing request body when Config leaves
+// MaxBodyBytes zero (same limit as the serial wb.Briefer path).
+const DefaultMaxBodyBytes = 4 << 20
+
+// Config sizes a Server. The zero value is usable: GOMAXPROCS replicas, a
+// 64-deep admission queue, no deadline, the default body limit, beam 8.
+type Config struct {
+	Replicas     int           // model replicas (0 = GOMAXPROCS)
+	QueueDepth   int           // requests allowed to wait for a replica before 429 (<0 = none wait)
+	Timeout      time.Duration // per-request deadline, queue wait included (0 = none)
+	MaxBodyBytes int64         // request body limit (0 = DefaultMaxBodyBytes)
+	BeamWidth    int           // topic beam width (0 = 8)
+	MaxTokens    int           // document truncation, as in wb.NewBriefer (0 = none)
+	RetryAfter   time.Duration // advisory Retry-After on 429 (0 = 1s)
+	AccessLog    io.Writer     // JSON-line access log (nil = disabled)
+}
+
+// withDefaults resolves zero values.
+func (c Config) withDefaults() Config {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.BeamWidth == 0 {
+		c.BeamWidth = 8
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server is the pool-backed briefing server. Mount it directly (it is an
+// http.Handler routing /brief, /healthz and /metrics) or pick individual
+// handlers off Mux.
+type Server struct {
+	cfg     Config
+	pool    *Pool
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	// queueSlots bounds how many requests may wait for a replica; a
+	// request that cannot take a slot is shed with 429.
+	queueSlots chan struct{}
+
+	ready atomic.Bool
+
+	logMu sync.Mutex // serialises access-log lines
+}
+
+// New builds a Server around a trained GloVe-encoder Joint-WB bundle,
+// constructing cfg.Replicas pool replicas via wb.CloneForServing.
+func New(m *wb.JointWB, v *textproc.Vocab, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	pool, err := NewPool(m, v, cfg.Replicas, cfg.BeamWidth, cfg.MaxTokens)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromPool(pool, cfg), nil
+}
+
+// NewFromPool builds a Server over pre-built replicas (custom models,
+// tests). cfg.Replicas is ignored; the pool's size rules.
+func NewFromPool(pool *Pool, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:        cfg,
+		pool:       pool,
+		metrics:    &Metrics{},
+		queueSlots: make(chan struct{}, cfg.QueueDepth),
+		mux:        http.NewServeMux(),
+	}
+	s.ready.Store(true)
+	s.mux.HandleFunc("/brief", s.handleBrief)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Handler returns the route mux (alias of the Server itself).
+func (s *Server) Handler() http.Handler { return s }
+
+// Metrics exposes the live counters, e.g. for tests or embedders.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Pool exposes the replica pool.
+func (s *Server) Pool() *Pool { return s.pool }
+
+// BeginShutdown flips the server into draining mode: /healthz reports 503
+// so load balancers stop routing here, and new /brief requests are refused
+// with 503, while requests already admitted run to completion. Pair with
+// http.Server.Shutdown (which waits for in-flight handlers) or Drain.
+func (s *Server) BeginShutdown() { s.ready.Store(false) }
+
+// Drain begins shutdown and blocks until no request holds a replica or ctx
+// expires. It returns the number of requests still in flight (0 on a clean
+// drain). http.Server.Shutdown already waits for in-flight handlers, so
+// callers using it only need BeginShutdown; Drain serves embedders driving
+// the handler directly.
+func (s *Server) Drain(ctx context.Context) int64 {
+	s.BeginShutdown()
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		n := s.metrics.InFlight.Load() + s.metrics.Queued.Load()
+		if n == 0 {
+			return 0
+		}
+		select {
+		case <-ctx.Done():
+			return n
+		case <-tick.C:
+		}
+	}
+}
+
+// handleBrief is the serving hot path: admission, replica checkout, the
+// three pipeline stages with per-stage timing and deadline checks, and the
+// JSON response.
+func (s *Server) handleBrief(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	m := s.metrics
+	m.Requests.Add(1)
+	lg := accessEntry{Method: r.Method, Path: r.URL.Path, Remote: r.RemoteAddr}
+	defer func() {
+		m.Total.Observe(time.Since(start))
+		lg.TotalMS = roundMS(time.Since(start))
+		s.logAccess(&lg)
+	}()
+
+	if !s.ready.Load() {
+		m.Draining.Add(1)
+		lg.Status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		http.Error(w, "server is draining", http.StatusServiceUnavailable)
+		return
+	}
+	if r.Method != http.MethodPost {
+		m.BadMethod.Add(1)
+		lg.Status = http.StatusMethodNotAllowed
+		http.Error(w, "POST the page HTML as the request body", http.StatusMethodNotAllowed)
+		return
+	}
+
+	// Body, with a hard 413 instead of silent truncation.
+	if r.ContentLength > s.cfg.MaxBodyBytes {
+		m.TooLarge.Add(1)
+		lg.Status = http.StatusRequestEntityTooLarge
+		http.Error(w, fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes),
+			http.StatusRequestEntityTooLarge)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+	if err != nil {
+		m.BadRequest.Add(1)
+		lg.Status = http.StatusBadRequest
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	lg.BytesIn = len(body)
+	if int64(len(body)) > s.cfg.MaxBodyBytes {
+		m.TooLarge.Add(1)
+		lg.Status = http.StatusRequestEntityTooLarge
+		http.Error(w, fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes),
+			http.StatusRequestEntityTooLarge)
+		return
+	}
+
+	ctx := r.Context()
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+
+	// Admission: take a replica if one is idle; otherwise wait in a
+	// bounded queue or shed with 429.
+	queueStart := time.Now()
+	rep, ok := s.pool.TryGet()
+	if !ok {
+		select {
+		case s.queueSlots <- struct{}{}:
+		default:
+			m.Overload.Add(1)
+			lg.Status = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+			http.Error(w, "briefing queue is full, retry later", http.StatusTooManyRequests)
+			return
+		}
+		m.Queued.Add(1)
+		rep, err = s.pool.Get(ctx)
+		m.Queued.Add(-1)
+		<-s.queueSlots
+		if err != nil {
+			s.failCtx(w, &lg, err)
+			return
+		}
+	}
+	wait := time.Since(queueStart)
+	m.QueueWait.Observe(wait)
+	lg.QueueMS = roundMS(wait)
+
+	m.InFlight.Add(1)
+	defer m.InFlight.Add(-1)
+	defer s.pool.Put(rep)
+
+	// Stage 1: parse.
+	t0 := time.Now()
+	inst, err := rep.Parse(string(body))
+	m.Parse.Observe(time.Since(t0))
+	if err != nil {
+		m.Unbriefable.Add(1)
+		lg.Status = http.StatusUnprocessableEntity
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		s.failCtx(w, &lg, err)
+		return
+	}
+
+	// Stage 2: encode (forward pass → attributes + sections).
+	t1 := time.Now()
+	brief := rep.Encode(inst)
+	m.Encode.Observe(time.Since(t1))
+	if err := ctx.Err(); err != nil {
+		s.failCtx(w, &lg, err)
+		return
+	}
+
+	// Stage 3: decode (topic generation).
+	t2 := time.Now()
+	rep.Decode(inst, brief)
+	m.Decode.Observe(time.Since(t2))
+
+	out, err := json.Marshal(brief)
+	if err != nil {
+		m.BadRequest.Add(1)
+		lg.Status = http.StatusInternalServerError
+		http.Error(w, "encode briefing: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	out = append(out, '\n')
+	m.OK.Add(1)
+	lg.Status = http.StatusOK
+	lg.BytesOut = len(out)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
+}
+
+// failCtx maps a context error to its HTTP response: 504 for an expired
+// deadline, a logged-but-unsent cancel when the client is already gone.
+func (s *Server) failCtx(w http.ResponseWriter, lg *accessEntry, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.metrics.Timeout.Add(1)
+		lg.Status = http.StatusGatewayTimeout
+		http.Error(w, "briefing deadline exceeded", http.StatusGatewayTimeout)
+		return
+	}
+	s.metrics.Canceled.Add(1)
+	lg.Status = 499 // nginx convention: client closed request
+}
+
+// handleHealthz reports pool readiness: 200 with pool stats while serving,
+// 503 once draining begins.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	type health struct {
+		Status   string `json:"status"`
+		Replicas int    `json:"replicas"`
+		Idle     int    `json:"idle"`
+		Queued   int64  `json:"queued"`
+		InFlight int64  `json:"in_flight"`
+	}
+	h := health{
+		Status:   "ok",
+		Replicas: s.pool.Size(),
+		Idle:     s.pool.Idle(),
+		Queued:   s.metrics.Queued.Load(),
+		InFlight: s.metrics.InFlight.Load(),
+	}
+	code := http.StatusOK
+	if !s.ready.Load() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(h)
+}
+
+// handleMetrics serves the counter snapshot as JSON.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.metrics.snapshot(s.pool))
+}
+
+// accessEntry is one structured access-log line. Struct field order is the
+// JSON field order, stable across lines.
+type accessEntry struct {
+	Time     string  `json:"time"`
+	Method   string  `json:"method"`
+	Path     string  `json:"path"`
+	Remote   string  `json:"remote,omitempty"`
+	Status   int     `json:"status"`
+	BytesIn  int     `json:"bytes_in"`
+	BytesOut int     `json:"bytes_out"`
+	QueueMS  float64 `json:"queue_ms"`
+	TotalMS  float64 `json:"total_ms"`
+}
+
+// logAccess emits one JSON line, if access logging is configured.
+func (s *Server) logAccess(lg *accessEntry) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	lg.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	line, err := json.Marshal(lg)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	s.logMu.Lock()
+	s.cfg.AccessLog.Write(line)
+	s.logMu.Unlock()
+}
+
+// roundMS renders a duration as fractional milliseconds with microsecond
+// resolution, keeping log lines compact.
+func roundMS(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1e3
+}
+
+// retryAfterSeconds renders a Retry-After header value (whole seconds,
+// minimum 1).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}

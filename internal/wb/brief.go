@@ -19,9 +19,23 @@ type Brief struct {
 	Sections   []int      // predicted informative-section flags per sentence
 }
 
+// topicMaxLen bounds the decoded topic phrase length during briefing.
+const topicMaxLen = 6
+
 // MakeBrief runs a trained model on an instance and assembles the
 // hierarchical briefing.
 func MakeBrief(m Model, inst *Instance, v *textproc.Vocab, beamWidth int) *Brief {
+	b := ExtractBrief(m, inst, v)
+	b.Topic = DecodeTopic(m, inst, v, beamWidth)
+	return b
+}
+
+// ExtractBrief runs one eval-mode forward pass and assembles the extractive
+// half of the briefing: the key attribute spans and the informative-section
+// flags. The topic is left empty; DecodeTopic fills it. The split exists so
+// a serving layer can time (and deadline-check between) the encode and
+// decode stages separately.
+func ExtractBrief(m Model, inst *Instance, v *textproc.Vocab) *Brief {
 	b := &Brief{}
 	t := ag.NewTape()
 	out := m.Forward(t, inst, Eval)
@@ -35,10 +49,17 @@ func MakeBrief(m Model, inst *Instance, v *textproc.Vocab, beamWidth int) *Brief
 		}
 	}
 	b.Sections = PredictSections(out)
-	if ids := GenerateTopic(m, inst, beamWidth, 6); ids != nil {
-		b.Topic = v.Tokens(ids)
-	}
 	return b
+}
+
+// DecodeTopic generates the briefing's topic phrase with beam search
+// (width ≤ 1 decodes greedily). It returns nil for models without a
+// generator head.
+func DecodeTopic(m Model, inst *Instance, v *textproc.Vocab, beamWidth int) []string {
+	if ids := GenerateTopic(m, inst, beamWidth, topicMaxLen); ids != nil {
+		return v.Tokens(ids)
+	}
+	return nil
 }
 
 // String renders the briefing as the indented hierarchy of Fig. 1.

@@ -1,0 +1,38 @@
+package wb
+
+import (
+	"bytes"
+	"fmt"
+
+	"webbrief/internal/textproc"
+)
+
+// CloneForServing deep-copies a trained GloVe-encoder Joint-WB model so the
+// clone and the original can run eval-mode forwards concurrently without
+// sharing any mutable state — the replica-construction primitive behind
+// serve.Pool. The copy goes through the SaveJointWB/LoadJointWB round-trip,
+// so it is exactly the model a restart would load: gob preserves float64
+// bits, making the clone's briefings byte-identical to the original's.
+//
+// The embedding table — by far the largest parameter — is shared with the
+// original rather than copied: eval-mode forwards only ever read parameter
+// values (no dropout, no gradients), so concurrent replicas can safely
+// alias it. Everything else (LSTMs, decoder, attention heads) is private to
+// the clone.
+//
+// Clones are for inference only. Training a clone — or the original while
+// clones are serving — writes the shared embedding and races; callers that
+// need to retrain must build a fresh model and a fresh pool.
+func CloneForServing(m *JointWB, v *textproc.Vocab) (*JointWB, error) {
+	var buf bytes.Buffer
+	if err := SaveJointWB(&buf, m, v); err != nil {
+		return nil, fmt.Errorf("wb: clone: %w", err)
+	}
+	clone, _, err := LoadJointWB(&buf)
+	if err != nil {
+		return nil, fmt.Errorf("wb: clone: %w", err)
+	}
+	orig := m.Enc.(*GloVeEncoder) // SaveJointWB succeeded, so Enc is GloVe
+	clone.Enc.(*GloVeEncoder).Emb.Table.Value = orig.Emb.Table.Value
+	return clone, nil
+}

@@ -41,8 +41,9 @@ func (b *Briefer) BriefHTML(html string) (*Brief, error) {
 	return MakeBrief(b.model, inst, b.vocab, b.beamWidth), nil
 }
 
-// maxRequestBytes bounds a briefing request body (webpages beyond this are
-// truncated by the pipeline anyway).
+// maxRequestBytes bounds a briefing request body. Bodies beyond the limit
+// are rejected with 413 rather than truncated: a briefing of half a page
+// would be silently wrong, which is worse than no briefing.
 const maxRequestBytes = 4 << 20
 
 // ServeHTTP implements http.Handler: POST a page's HTML as the request
@@ -55,9 +56,16 @@ func (b *Briefer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST the page HTML as the request body", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes))
+	// Read one byte past the limit so an over-limit body is detected
+	// instead of silently truncated to a briefable-but-wrong prefix.
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))
 	if err != nil {
 		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxRequestBytes {
+		http.Error(w, fmt.Sprintf("request body exceeds %d bytes", maxRequestBytes),
+			http.StatusRequestEntityTooLarge)
 		return
 	}
 	brief, err := b.BriefHTML(string(body))

@@ -71,6 +71,30 @@ func TestBrieferHTTP(t *testing.T) {
 		t.Fatalf("GET status %d", get.StatusCode)
 	}
 
+	// Oversized body: must get 413, not a briefing of a silently
+	// truncated page (regression: the handler used to cap the reader at
+	// the limit and brief whatever prefix survived).
+	huge := strings.Repeat("x", maxRequestBytes+1)
+	big, err := http.Post(srv.URL, "text/html", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big.Body.Close()
+	if big.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized-body status %d, want 413", big.StatusCode)
+	}
+
+	// A body exactly at the limit is still served.
+	page := testPageHTML + strings.Repeat(" ", maxRequestBytes-len(testPageHTML))
+	atLimit, err := http.Post(srv.URL, "text/html", strings.NewReader(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	atLimit.Body.Close()
+	if atLimit.StatusCode != http.StatusOK {
+		t.Fatalf("at-limit status %d, want 200", atLimit.StatusCode)
+	}
+
 	// Unbriefable body.
 	bad, err := http.Post(srv.URL, "text/html", strings.NewReader("<style>.x{}</style>"))
 	if err != nil {

@@ -24,11 +24,32 @@ go vet ./...
 echo "== wbcheck (determinism + numeric-safety lints)"
 go run ./cmd/wbcheck ./...
 
-echo "== race-enabled tests (ag, wb)"
-go test -race ./internal/ag ./internal/wb
+echo "== race-enabled tests (ag, wb, serve: e2e + load soak)"
+go test -race ./internal/ag ./internal/wb ./internal/serve
 
 echo "== wbdebug invariant layer"
 go test -tags wbdebug ./internal/ag ./internal/tensor
+
+echo "== wbserve smoke (train tiny bundle, boot, curl /brief + /metrics, drain)"
+SMOKEDIR=$(mktemp -d)
+SERVE_PID=""
+trap '[[ -n "$SERVE_PID" ]] && kill "$SERVE_PID" 2>/dev/null; rm -rf "$SMOKEDIR"' EXIT
+go run ./cmd/wbtrain -domains 2 -pages 4 -epochs 2 -out "$SMOKEDIR/model.bin" >/dev/null 2>&1
+go build -o "$SMOKEDIR/wbserve" ./cmd/wbserve
+"$SMOKEDIR/wbserve" -model "$SMOKEDIR/model.bin" -addr 127.0.0.1:18080 -replicas 2 -queue 8 -quiet &
+SERVE_PID=$!
+for i in $(seq 1 50); do
+    curl -sf http://127.0.0.1:18080/healthz >/dev/null 2>&1 && break
+    sleep 0.2
+done
+curl -sf http://127.0.0.1:18080/healthz | grep -q '"status":"ok"'
+printf '<html><body><h1>title : novel edition</h1><div>price : $ 9.99</div></body></html>' \
+    | curl -sf --data-binary @- http://127.0.0.1:18080/brief | grep -q '"Topic"'
+curl -sf http://127.0.0.1:18080/metrics | grep -q '"requests_total": 1'
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+echo "   wbserve smoke ok"
 
 if [[ "$FUZZTIME" != "0" ]]; then
     echo "== fuzz smoke (${FUZZTIME} per target)"
