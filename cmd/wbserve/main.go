@@ -31,6 +31,16 @@ import (
 	"webbrief/internal/wb"
 )
 
+// warmupPage is the synthetic page -warm briefs on each replica at boot.
+// Its only job is to push every scratch buffer — tape arena, pack buffer,
+// beam pools — through one full parse/encode/decode so the first real
+// request finds them grown.
+const warmupPage = `<html><head><title>warmup</title></head><body>
+<h1>Scratch warmup</h1>
+<p>This synthetic page exercises the briefing pipeline once per replica.</p>
+<p>It is briefed and discarded before the listener opens.</p>
+</body></html>`
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("wbserve: ")
@@ -42,6 +52,7 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline, queue wait included (0 = none)")
 	maxBody := flag.Int64("maxbody", serve.DefaultMaxBodyBytes, "request body limit in bytes (over-limit bodies get 413)")
 	drainWait := flag.Duration("drain", 30*time.Second, "max time to drain in-flight briefings on shutdown")
+	warm := flag.Bool("warm", true, "brief a synthetic page on every replica before listening, so scratch workspaces are grown ahead of real traffic")
 	quiet := flag.Bool("quiet", false, "disable the JSON access log on stderr")
 	flag.Parse()
 
@@ -68,6 +79,15 @@ func main() {
 	srv, err := serve.New(m, v, cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *warm {
+		start := time.Now()
+		if err := srv.Pool().Warm(warmupPage); err != nil {
+			log.Fatalf("warmup: %v", err)
+		}
+		log.Printf("warmed %d replica scratch workspaces in %v",
+			srv.Pool().Size(), time.Since(start).Round(time.Millisecond))
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -89,11 +89,13 @@ type Tape struct {
 	blocks [][]Node // node arena; reused across Reset
 	blk    int
 	blkOff int
-	arena  *tensor.Arena // nil: plain heap allocation
-	sink   *GradSink     // nil: Use accumulates into Param.Grad
-	rng    *rand.Rand    // nil: Dropout uses the caller-provided rng
-	gen    uint64        // bumped by Reset; wbdebug use-after-Reset check
-	pooled bool          // wbdebug double-PutTape check
+	arena  *tensor.Arena   // nil: plain heap allocation
+	sink   *GradSink       // nil: Use accumulates into Param.Grad
+	rng    *rand.Rand      // nil: Dropout uses the caller-provided rng
+	pack   *tensor.PackBuf // nil: MatMul uses the unpacked kernel
+	nograd bool            // inference tape: ops record no backward closures
+	gen    uint64          // bumped by Reset; wbdebug use-after-Reset check
+	pooled bool            // wbdebug double-PutTape check
 }
 
 // NewTape returns an empty heap-allocating tape. Values recorded on it may
@@ -105,6 +107,27 @@ func NewTape() *Tape { return &Tape{} }
 // to reuse the memory; nothing recorded before a Reset may be referenced
 // after it.
 func NewArenaTape() *Tape { return &Tape{arena: tensor.NewArena()} }
+
+// NewInferTape returns an arena tape in no-gradient mode: ops compute
+// forward values identically but record no backward closures, so a warm
+// inference forward allocates nothing. Backward panics on such a tape.
+// Inference workspaces (wb.InferScratch) own one tape each.
+func NewInferTape() *Tape { return &Tape{arena: tensor.NewArena(), nograd: true} }
+
+// NoGrad reports whether this tape skips backward-closure recording.
+func (t *Tape) NoGrad() bool { return t.nograd }
+
+// SetPack attaches a caller-owned pack buffer; while set, MatMul routes
+// through the panel-packed kernel (tensor.MatMulPackInto). The buffer must
+// not be shared with a concurrently running tape.
+func (t *Tape) SetPack(p *tensor.PackBuf) { t.pack = p }
+
+// AllocValue returns a zeroed rows×cols matrix from the tape's arena (heap
+// for plain tapes). It lets callers build constant inputs — mean-pooling
+// weights, zero states, ones columns — in tape-lifetime memory instead of
+// leaking per-call heap matrices. The matrix obeys tape lifetime: invalid
+// after Reset.
+func (t *Tape) AllocValue(rows, cols int) *tensor.Matrix { return t.alloc(rows, cols) }
 
 // Reset clears the tape for reuse, rewinding the node and matrix arenas.
 // The attached sink and rng are kept; recorded nodes become invalid.
@@ -204,6 +227,9 @@ func (t *Tape) Const(v *tensor.Matrix) *Node {
 // or into the tape's sink when one is attached.
 func (t *Tape) Use(p *Param) *Node {
 	n := t.newNode(p.Value)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		if n.Grad == nil {
 			return
@@ -220,6 +246,9 @@ func (t *Tape) Use(p *Param) *Node {
 // Backward runs reverse-mode accumulation from loss, which must be a 1×1
 // node recorded on this tape.
 func (t *Tape) Backward(loss *Node) {
+	if t.nograd {
+		panic("ag: Backward on a no-gradient inference tape")
+	}
 	if loss.Value.Rows != 1 || loss.Value.Cols != 1 {
 		panic(fmt.Sprintf("ag: Backward needs scalar loss, got %dx%d", loss.Value.Rows, loss.Value.Cols))
 	}
@@ -240,6 +269,9 @@ func (t *Tape) Add(a, b *Node) *Node {
 	v := t.alloc(a.Value.Rows, a.Value.Cols)
 	tensor.AddInto(v, a.Value, b.Value)
 	n := t.newNode(v)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		a.addGrad(n.Grad)
 		b.addGrad(n.Grad)
@@ -252,6 +284,9 @@ func (t *Tape) Sub(a, b *Node) *Node {
 	v := t.alloc(a.Value.Rows, a.Value.Cols)
 	tensor.SubInto(v, a.Value, b.Value)
 	n := t.newNode(v)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		a.addGrad(n.Grad)
 		b.grad().AddScaledInPlace(n.Grad, -1)
@@ -264,6 +299,9 @@ func (t *Tape) Mul(a, b *Node) *Node {
 	v := t.alloc(a.Value.Rows, a.Value.Cols)
 	tensor.MulInto(v, a.Value, b.Value)
 	n := t.newNode(v)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		ga := a.grad()
 		gb := b.grad()
@@ -280,6 +318,9 @@ func (t *Tape) Scale(a *Node, s float64) *Node {
 	v := t.alloc(a.Value.Rows, a.Value.Cols)
 	tensor.ScaleInto(v, a.Value, s)
 	n := t.newNode(v)
+	if t.nograd {
+		return n
+	}
 	n.back = func() { a.grad().AddScaledInPlace(n.Grad, s) }
 	return n
 }
@@ -287,8 +328,15 @@ func (t *Tape) Scale(a *Node, s float64) *Node {
 // MatMul returns a·b.
 func (t *Tape) MatMul(a, b *Node) *Node {
 	v := t.alloc(a.Value.Rows, b.Value.Cols)
-	tensor.MatMulInto(v, a.Value, b.Value)
+	if t.pack != nil {
+		tensor.MatMulPackInto(v, a.Value, b.Value, t.pack)
+	} else {
+		tensor.MatMulInto(v, a.Value, b.Value)
+	}
 	n := t.newNode(v)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		// dA = dC·Bᵀ ; dB = Aᵀ·dC
 		ga := t.alloc(a.Value.Rows, a.Value.Cols)
@@ -305,6 +353,9 @@ func (t *Tape) MatMulTransB(a, b *Node) *Node {
 	v := t.alloc(a.Value.Rows, b.Value.Rows)
 	tensor.MatMulTransBInto(v, a.Value, b.Value)
 	n := t.newNode(v)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		// C = A·Bᵀ: dA = dC·B ; dB = dCᵀ·A
 		ga := a.grad()
@@ -320,6 +371,9 @@ func (t *Tape) AddRowVector(a, v *Node) *Node {
 	val := t.alloc(a.Value.Rows, a.Value.Cols)
 	tensor.AddRowVectorInto(val, a.Value, v.Value)
 	n := t.newNode(val)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		a.addGrad(n.Grad)
 		g := v.grad()
@@ -340,6 +394,9 @@ func (t *Tape) Tanh(a *Node) *Node {
 	val := t.alloc(a.Value.Rows, a.Value.Cols)
 	tensor.TanhInto(val, a.Value)
 	n := t.newNode(val)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		g := a.grad()
 		for i, y := range val.Data {
@@ -354,6 +411,9 @@ func (t *Tape) Sigmoid(a *Node) *Node {
 	val := t.alloc(a.Value.Rows, a.Value.Cols)
 	tensor.SigmoidInto(val, a.Value)
 	n := t.newNode(val)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		g := a.grad()
 		for i, y := range val.Data {
@@ -368,6 +428,9 @@ func (t *Tape) ReLU(a *Node) *Node {
 	val := t.alloc(a.Value.Rows, a.Value.Cols)
 	tensor.ReLUInto(val, a.Value)
 	n := t.newNode(val)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		g := a.grad()
 		for i := range val.Data {
@@ -384,6 +447,9 @@ func (t *Tape) SoftmaxRows(a *Node) *Node {
 	val := t.alloc(a.Value.Rows, a.Value.Cols)
 	tensor.SoftmaxRowsInto(val, a.Value)
 	n := t.newNode(val)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		g := a.grad()
 		for i := 0; i < val.Rows; i++ {
@@ -408,6 +474,9 @@ func (t *Tape) LogSoftmaxRows(a *Node) *Node {
 	val := t.alloc(a.Value.Rows, a.Value.Cols)
 	tensor.LogSoftmaxRowsInto(val, a.Value)
 	n := t.newNode(val)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		g := a.grad()
 		for i := 0; i < val.Rows; i++ {
@@ -439,6 +508,9 @@ func (t *Tape) ConcatCols(ns ...*Node) *Node {
 	val := t.alloc(ns[0].Value.Rows, cols)
 	tensor.ConcatColsInto(val, vals...)
 	n := t.newNode(val)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		off := 0
 		for _, x := range ns {
@@ -456,6 +528,32 @@ func (t *Tape) ConcatCols(ns ...*Node) *Node {
 	return n
 }
 
+// ConcatCols2 joins exactly two nodes horizontally. It computes the same
+// value as ConcatCols(a, b) but skips the variadic slice, which matters on
+// the inference fast path where Bi-LSTMs concatenate once per token.
+func (t *Tape) ConcatCols2(a, b *Node) *Node {
+	val := t.alloc(a.Value.Rows, a.Value.Cols+b.Value.Cols)
+	tensor.ConcatColsInto(val, a.Value, b.Value)
+	n := t.newNode(val)
+	if t.nograd {
+		return n
+	}
+	n.back = func() {
+		ga, gb := a.grad(), b.grad()
+		for i := 0; i < val.Rows; i++ {
+			src := n.Grad.Row(i)
+			dstA, dstB := ga.Row(i), gb.Row(i)
+			for j, v := range src[:a.Value.Cols] {
+				dstA[j] += v
+			}
+			for j, v := range src[a.Value.Cols:] {
+				dstB[j] += v
+			}
+		}
+	}
+	return n
+}
+
 // ConcatRows stacks nodes vertically.
 func (t *Tape) ConcatRows(ns ...*Node) *Node {
 	vals := make([]*tensor.Matrix, len(ns))
@@ -467,6 +565,9 @@ func (t *Tape) ConcatRows(ns ...*Node) *Node {
 	val := t.alloc(rows, ns[0].Value.Cols)
 	tensor.ConcatRowsInto(val, vals...)
 	n := t.newNode(val)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		off := 0
 		for _, x := range ns {
@@ -493,6 +594,9 @@ func (t *Tape) SliceRows(a *Node, lo, hi int) *Node {
 	val := t.alloc(hi-lo, a.Value.Cols)
 	copy(val.Data, a.Value.Data[lo*a.Value.Cols:hi*a.Value.Cols])
 	n := t.newNode(val)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		g := a.grad()
 		for i := lo; i < hi; i++ {
@@ -513,6 +617,9 @@ func (t *Tape) GatherRows(a *Node, rows []int) *Node {
 		copy(val.Row(i), a.Value.Row(r))
 	}
 	n := t.newNode(val)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		g := a.grad()
 		for i, r := range rows {
@@ -532,6 +639,9 @@ func (t *Tape) Reshape(a *Node, rows, cols int) *Node {
 		panic(fmt.Sprintf("ag: Reshape %dx%d -> %dx%d changes size", a.Value.Rows, a.Value.Cols, rows, cols))
 	}
 	n := t.newNode(tensor.FromSlice(rows, cols, a.Value.Data))
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		g := a.grad()
 		for i, v := range n.Grad.Data {
@@ -546,6 +656,9 @@ func (t *Tape) Transpose(a *Node) *Node {
 	val := t.alloc(a.Value.Cols, a.Value.Rows)
 	tensor.TransposeInto(val, a.Value)
 	n := t.newNode(val)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		g := a.grad()
 		dg := n.Grad
@@ -588,6 +701,9 @@ func (t *Tape) Dropout(a *Node, p float64, rng *rand.Rand) *Node {
 	val := t.alloc(a.Value.Rows, a.Value.Cols)
 	tensor.MulInto(val, a.Value, mask)
 	n := t.newNode(val)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		g := a.grad()
 		for i, d := range n.Grad.Data {
@@ -602,6 +718,9 @@ func (t *Tape) Dropout(a *Node, p float64, rng *rand.Rand) *Node {
 // Sum reduces a to a 1×1 scalar.
 func (t *Tape) Sum(a *Node) *Node {
 	n := t.scalar(a.Value.Sum())
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		g := a.grad()
 		d := n.Grad.Data[0]
@@ -616,6 +735,9 @@ func (t *Tape) Sum(a *Node) *Node {
 func (t *Tape) Mean(a *Node) *Node {
 	inv := 1 / float64(a.Value.Rows*a.Value.Cols)
 	n := t.scalar(a.Value.Sum() * inv)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		g := a.grad()
 		d := n.Grad.Data[0] * inv
@@ -640,6 +762,9 @@ func (t *Tape) MeanRows(a *Node) *Node {
 		val.Data[j] *= inv
 	}
 	n := t.newNode(val)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		g := a.grad()
 		for i := 0; i < g.Rows; i++ {
@@ -675,6 +800,9 @@ func (t *Tape) CrossEntropy(logits *Node, targets []int) *Node {
 	}
 	inv := 1 / float64(count)
 	n := t.scalar(loss * inv)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		d := n.Grad.Data[0] * inv
 		g := logits.grad()
@@ -715,6 +843,9 @@ func (t *Tape) KLDiv(p *tensor.Matrix, logits *Node) *Node {
 	}
 	inv := 1 / float64(p.Rows)
 	n := t.scalar(loss * inv)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		d := n.Grad.Data[0] * inv
 		g := logits.grad()
@@ -747,6 +878,9 @@ func (t *Tape) L1Loss(a *Node, target *tensor.Matrix) *Node {
 	}
 	inv := 1 / float64(len(a.Value.Data))
 	n := t.scalar(loss * inv)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		d := n.Grad.Data[0] * inv
 		g := a.grad()
@@ -774,6 +908,9 @@ func (t *Tape) MSELoss(a *Node, target *tensor.Matrix) *Node {
 	}
 	inv := 1 / float64(len(a.Value.Data))
 	n := t.scalar(loss * inv)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		d := n.Grad.Data[0] * inv * 2
 		g := a.grad()
@@ -806,6 +943,9 @@ func (t *Tape) BCELoss(logits *Node, labels []int) *Node {
 	}
 	inv := 1 / float64(count)
 	n := t.scalar(loss * inv)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		d := n.Grad.Data[0] * inv
 		g := logits.grad()
@@ -830,6 +970,9 @@ func (t *Tape) AddScalars(ns ...*Node) *Node {
 		total += x.Value.Data[0]
 	}
 	n := t.scalar(total)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		for _, x := range ns {
 			x.grad().Data[0] += n.Grad.Data[0]

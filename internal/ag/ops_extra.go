@@ -18,6 +18,9 @@ func (t *Tape) SliceCols(a *Node, lo, hi int) *Node {
 		copy(val.Row(i), a.Value.Row(i)[lo:hi])
 	}
 	n := t.newNode(val)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		g := a.grad()
 		for i := 0; i < val.Rows; i++ {
@@ -46,6 +49,9 @@ func (t *Tape) MulRowVector(a, v *Node) *Node {
 		}
 	}
 	n := t.newNode(val)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		ga := a.grad()
 		gv := v.grad()
@@ -91,6 +97,9 @@ func (t *Tape) RowNorm(a *Node, eps float64) *Node {
 		}
 	}
 	n := t.newNode(val)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		g := a.grad()
 		for i := 0; i < rows; i++ {
@@ -127,6 +136,9 @@ func (t *Tape) L1Between(a, b *Node) *Node {
 	}
 	inv := 1 / float64(len(a.Value.Data))
 	n := t.scalar(loss * inv)
+	if t.nograd {
+		return n
+	}
 	n.back = func() {
 		d := n.Grad.Data[0] * inv
 		ga := a.grad()
@@ -155,6 +167,9 @@ func (t *Tape) AddMasked(a *Node, mask *tensor.Matrix) *Node {
 	val := t.alloc(a.Value.Rows, a.Value.Cols)
 	tensor.AddInto(val, a.Value, mask)
 	n := t.newNode(val)
+	if t.nograd {
+		return n
+	}
 	n.back = func() { a.addGrad(n.Grad) }
 	return n
 }

@@ -1,0 +1,188 @@
+package nn
+
+import (
+	"sort"
+
+	"webbrief/internal/tensor"
+
+	"webbrief/internal/ag"
+)
+
+// BeamScratch holds the reusable buffers for one beam search: the
+// log-softmax row, the top-K index scratch, the two beam frontiers, and the
+// per-slot token backing arrays. A warm scratch makes BeamSearchScratch
+// allocation-free apart from the copied-out result.
+//
+// Token buffers live in two pools that ping-pong between decode depths:
+// candidates at depth d write pool d%2 and read the surviving beams' tokens
+// from pool (d+1)%2, so no live hypothesis ever aliases a slot being
+// rewritten. Done hypotheses are re-copied into the write pool each depth to
+// keep that invariant. A scratch must not be shared between concurrent
+// searches — give each serving replica its own (see wb.InferScratch).
+type BeamScratch struct {
+	logp  tensor.Matrix // 1×vocab log-softmax scratch, header reused
+	idx   []int         // top-K selection scratch
+	cur   []beam        // frontier at the current depth
+	next  []beam        // candidate frontier being built
+	pools [2][][]int    // per-slot token backing arrays
+}
+
+// NewBeamScratch returns a scratch presized for the given vocabulary size,
+// beam width and decode depth. All buffers still grow on demand, so a
+// zero-value-like NewBeamScratch(0, 0, 0) is valid and merely warms up lazily.
+func NewBeamScratch(vocab, width, maxLen int) *BeamScratch {
+	bs := &BeamScratch{}
+	if vocab > 0 {
+		bs.logp.Data = make([]float64, vocab)
+		bs.idx = make([]int, 0, vocab)
+	}
+	if width > 0 {
+		slots := width*width + width
+		bs.cur = make([]beam, 0, slots)
+		bs.next = make([]beam, 0, slots)
+		for p := range bs.pools {
+			bs.pools[p] = make([][]int, slots)
+			for s := range bs.pools[p] {
+				bs.pools[p][s] = make([]int, 0, maxLen+1)
+			}
+		}
+	}
+	return bs
+}
+
+// logSoftmaxRow computes the log-softmax of the 1×vocab logits row into the
+// scratch buffer through the shared tensor kernel, so the values are
+// bitwise identical to Matrix.LogSoftmaxRows on the heap path.
+func (bs *BeamScratch) logSoftmaxRow(logits *tensor.Matrix) []float64 {
+	n := logits.Cols
+	if cap(bs.logp.Data) < n {
+		bs.logp.Data = make([]float64, n)
+	}
+	bs.logp.Rows, bs.logp.Cols, bs.logp.Data = 1, n, bs.logp.Data[:n]
+	tensor.LogSoftmaxRowsInto(&bs.logp, logits)
+	return bs.logp.Data
+}
+
+// topK selects the indices of the k largest values in xs in descending value
+// order, ties broken toward the lower index — exactly the order
+// sort.SliceStable over ascending indices produces — without sorting the
+// whole vocabulary. The returned slice aliases the scratch.
+func (bs *BeamScratch) topK(xs []float64, k int) []int {
+	if k > len(xs) {
+		k = len(xs)
+	}
+	idx := bs.idx[:0]
+	for i, v := range xs {
+		if len(idx) == k {
+			if !(v > xs[idx[k-1]]) { // ties keep the earlier index
+				continue
+			}
+			idx = idx[:k-1]
+		}
+		// Insert before the first kept index with a strictly smaller value;
+		// equal values keep their earlier position (stability).
+		p := len(idx)
+		for p > 0 && xs[idx[p-1]] < v {
+			p--
+		}
+		idx = append(idx, 0)
+		copy(idx[p+1:], idx[p:])
+		idx[p] = i
+	}
+	bs.idx = idx[:0]
+	return idx
+}
+
+// claim copies src into slot s of the given token pool and returns it with
+// room for one appended token.
+func (bs *BeamScratch) claim(pool, s int, src []int) []int {
+	for s >= len(bs.pools[pool]) {
+		bs.pools[pool] = append(bs.pools[pool], nil)
+	}
+	buf := bs.pools[pool][s]
+	if cap(buf) < len(src)+1 {
+		buf = make([]int, 0, len(src)+8)
+	}
+	buf = buf[:len(src)]
+	copy(buf, src)
+	bs.pools[pool][s] = buf
+	return buf
+}
+
+// BeamSearchScratch is BeamSearch decoding through a reusable scratch:
+// identical hypotheses, scores and tie-breaking (the candidate prune
+// reproduces sort.SliceStable ordering), but no per-candidate allocation.
+// A nil scratch falls back to a throwaway one. The returned tokens are
+// copied out and caller-owned.
+func (d *AttnDecoder) BeamSearchScratch(t *ag.Tape, memory *ag.Node, bos, eos, width, maxLen int, bs *BeamScratch) []int {
+	if bs == nil {
+		bs = NewBeamScratch(0, width, maxLen)
+	}
+	pool := 0
+	beams := append(bs.cur[:0], beam{state: d.Cell.ZeroState(t)})
+	next := bs.next[:0]
+	for depth := 0; depth < maxLen; depth++ {
+		next = next[:0]
+		slot := 0
+		for _, b := range beams {
+			if b.done {
+				b.tokens = bs.claim(pool, slot, b.tokens)
+				slot++
+				next = append(next, b)
+				continue
+			}
+			prev := bos
+			if len(b.tokens) > 0 {
+				prev = b.tokens[len(b.tokens)-1]
+			}
+			logits, s := d.step(t, prev, b.state, memory)
+			logp := bs.logSoftmaxRow(logits.Value)
+			// Expand only the top `width` continuations of this beam;
+			// expanding more can never survive the global prune below.
+			for _, j := range bs.topK(logp, width) {
+				toks := bs.claim(pool, slot, b.tokens)
+				slot++
+				next = append(next, beam{
+					tokens:  append(toks, j),
+					logProb: b.logProb + logp[j],
+					state:   s,
+					done:    j == eos,
+				})
+			}
+		}
+		sort.SliceStable(next, func(i, j int) bool {
+			return score(next[i]) > score(next[j])
+		})
+		if len(next) > width {
+			next = next[:width]
+		}
+		beams, next = next, beams
+		pool = 1 - pool
+		allDone := true
+		for _, b := range beams {
+			if !b.done {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+	}
+	best := beams[0]
+	for _, b := range beams[1:] {
+		if score(b) > score(best) {
+			best = b
+		}
+	}
+	toks := best.tokens
+	if len(toks) > 0 && best.done {
+		toks = toks[:len(toks)-1] // strip the trailing EOS
+	}
+	// Persist grown frontiers, then hand back a caller-owned copy.
+	bs.cur, bs.next = beams[:0], next[:0]
+	if len(toks) == 0 {
+		return nil
+	}
+	return append([]int(nil), toks...)
+}

@@ -49,9 +49,9 @@ func (d *AttnDecoder) Params() []*ag.Param {
 func (d *AttnDecoder) step(t *ag.Tape, prev int, s State, memory *ag.Node) (logits *ag.Node, next State) {
 	att := d.Att.Attention(t, s.H, memory) // 1×memRows
 	ctx := t.MatMul(att, memory)           // 1×memDim
-	x := t.ConcatCols(d.Emb.Forward(t, []int{prev}), ctx)
+	x := t.ConcatCols2(d.Emb.Forward(t, []int{prev}), ctx)
 	next = d.Cell.Step(t, x, s)
-	logits = d.Out.Forward(t, t.ConcatCols(next.H, ctx))
+	logits = d.Out.Forward(t, t.ConcatCols2(next.H, ctx))
 	return logits, next
 }
 

@@ -44,11 +44,13 @@ type State struct {
 	H, C *ag.Node
 }
 
-// ZeroState returns the all-zero initial state on tape t.
+// ZeroState returns the all-zero initial state on tape t. The buffers come
+// from the tape's arena, so they obey tape lifetime and cost no heap
+// allocation on arena tapes.
 func (l *LSTM) ZeroState(t *ag.Tape) State {
 	return State{
-		H: t.Const(tensor.New(1, l.Hidden)),
-		C: t.Const(tensor.New(1, l.Hidden)),
+		H: t.Const(t.AllocValue(1, l.Hidden)),
+		C: t.Const(t.AllocValue(1, l.Hidden)),
 	}
 }
 
@@ -120,7 +122,7 @@ func (b *BiLSTM) Forward(t *ag.Tape, x *ag.Node) *ag.Node {
 	}
 	rows := make([]*ag.Node, seq)
 	for i := 0; i < seq; i++ {
-		rows[i] = t.ConcatCols(fwd[i], bwd[i])
+		rows[i] = t.ConcatCols2(fwd[i], bwd[i])
 	}
 	return t.ConcatRows(rows...)
 }

@@ -25,12 +25,16 @@ type Replica interface {
 
 // modelReplica adapts one Joint-WB model (the original or a
 // wb.CloneForServing copy) to the Replica interface. The vocabulary is
-// shared across all replicas: it is read-only after construction.
+// shared across all replicas: it is read-only after construction. Each
+// replica owns its inference workspace — a replica serves one request at a
+// time (Pool checkout is exclusive), so the scratch is never shared between
+// concurrent requests.
 type modelReplica struct {
 	model     wb.Model
 	vocab     *textproc.Vocab
 	beam      int
 	maxTokens int
+	scratch   *wb.InferScratch
 }
 
 // Parse implements Replica.
@@ -44,12 +48,12 @@ func (r *modelReplica) Parse(html string) (*wb.Instance, error) {
 
 // Encode implements Replica.
 func (r *modelReplica) Encode(inst *wb.Instance) *wb.Brief {
-	return wb.ExtractBrief(r.model, inst, r.vocab)
+	return wb.ExtractBriefWith(r.model, inst, r.vocab, r.scratch)
 }
 
 // Decode implements Replica.
 func (r *modelReplica) Decode(inst *wb.Instance, b *wb.Brief) {
-	b.Topic = wb.DecodeTopic(r.model, inst, r.vocab, r.beam)
+	b.Topic = wb.DecodeTopicWith(r.model, inst, r.vocab, r.beam, r.scratch)
 }
 
 // Pool holds a fixed set of interchangeable eval-mode replicas. A request
@@ -70,13 +74,19 @@ func NewPool(m *wb.JointWB, v *textproc.Vocab, n, beam, maxTokens int) (*Pool, e
 		n = runtime.GOMAXPROCS(0)
 	}
 	replicas := make([]Replica, n)
-	replicas[0] = &modelReplica{model: m, vocab: v, beam: beam, maxTokens: maxTokens}
+	replicas[0] = &modelReplica{
+		model: m, vocab: v, beam: beam, maxTokens: maxTokens,
+		scratch: wb.NewInferScratchFor(v, beam),
+	}
 	for i := 1; i < n; i++ {
 		c, err := wb.CloneForServing(m, v)
 		if err != nil {
 			return nil, fmt.Errorf("serve: replica %d: %w", i, err)
 		}
-		replicas[i] = &modelReplica{model: c, vocab: v, beam: beam, maxTokens: maxTokens}
+		replicas[i] = &modelReplica{
+			model: c, vocab: v, beam: beam, maxTokens: maxTokens,
+			scratch: wb.NewInferScratchFor(v, beam),
+		}
 	}
 	return PoolOf(replicas...), nil
 }
@@ -89,6 +99,36 @@ func PoolOf(replicas ...Replica) *Pool {
 		p.idle <- r
 	}
 	return p
+}
+
+// Warm briefs html once on every replica so each scratch workspace grows
+// its arena, pack and beam buffers before real traffic arrives; the first
+// request per replica then runs the same allocation-free path as every
+// later one. Call it before serving starts: it requires a fully idle pool
+// and checks all replicas out while it runs.
+func (p *Pool) Warm(html string) error {
+	if p.Idle() != p.size {
+		return fmt.Errorf("serve: Warm needs an idle pool (%d of %d idle)", p.Idle(), p.size)
+	}
+	checked := make([]Replica, 0, p.size)
+	defer func() {
+		for _, r := range checked {
+			p.Put(r)
+		}
+	}()
+	for i := 0; i < p.size; i++ {
+		r, ok := p.TryGet()
+		if !ok {
+			return fmt.Errorf("serve: pool emptied during Warm")
+		}
+		checked = append(checked, r)
+		inst, err := r.Parse(html)
+		if err != nil {
+			return fmt.Errorf("serve: warmup page: %w", err)
+		}
+		r.Decode(inst, r.Encode(inst))
+	}
+	return nil
 }
 
 // Get checks a replica out, blocking until one is idle or ctx is done.

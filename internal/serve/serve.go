@@ -275,14 +275,15 @@ func (s *Server) handleBrief(w http.ResponseWriter, r *http.Request) {
 	rep.Decode(inst, brief)
 	m.Decode.Observe(time.Since(t2))
 
-	out, err := json.Marshal(brief)
-	if err != nil {
+	eb := getEncodeBuf()
+	defer putEncodeBuf(eb)
+	if err := eb.enc.Encode(brief); err != nil {
 		m.BadRequest.Add(1)
 		lg.Status = http.StatusInternalServerError
 		http.Error(w, "encode briefing: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
-	out = append(out, '\n')
+	out := eb.buf.Bytes() // Encode appends the trailing '\n'
 	m.OK.Add(1)
 	lg.Status = http.StatusOK
 	lg.BytesOut = len(out)
@@ -358,13 +359,13 @@ func (s *Server) logAccess(lg *accessEntry) {
 		return
 	}
 	lg.Time = time.Now().UTC().Format(time.RFC3339Nano)
-	line, err := json.Marshal(lg)
-	if err != nil {
+	eb := getEncodeBuf()
+	defer putEncodeBuf(eb)
+	if err := eb.enc.Encode(lg); err != nil {
 		return
 	}
-	line = append(line, '\n')
 	s.logMu.Lock()
-	s.cfg.AccessLog.Write(line)
+	s.cfg.AccessLog.Write(eb.buf.Bytes())
 	s.logMu.Unlock()
 }
 

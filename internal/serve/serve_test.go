@@ -8,7 +8,6 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
-	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -59,13 +58,17 @@ func postBrief(url, html string) (int, []byte, error) {
 
 // TestServeEndToEnd runs concurrent clients against a pool-backed server
 // over a real trained model and asserts every briefing is byte-identical
-// to the serial wb.Briefer path. Run under -race, this is the proof that
-// replicas do not serialise on (or corrupt) shared state.
+// on the wire to the serial wb.Briefer path — same JSON bytes from pooled
+// encode buffers and warm per-replica scratch workspaces as from a cold
+// heap path. Run under -race, this is the proof that replicas do not
+// serialise on (or corrupt) shared state.
 func TestServeEndToEnd(t *testing.T) {
 	m, v, pages := trainedModel(t)
 	const beam = 2
 
-	// Serial reference briefings, via the single-mutex path.
+	// Serial reference briefings, via the single-mutex path. The handler
+	// responds with Encoder.Encode framing, i.e. the JSON plus a trailing
+	// newline, so the expected wire bytes carry one too.
 	serial := wb.NewBriefer(m, v, beam, 0)
 	want := make([][]byte, len(pages))
 	for i, p := range pages {
@@ -77,8 +80,33 @@ func TestServeEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want[i] = j
+		want[i] = append(j, '\n')
 	}
+
+	// Cold-vs-warm: a single-replica server answers the same page three
+	// times on one scratch workspace. The first response is computed on a
+	// cold scratch, the rest on warm reused buffers; all must be identical
+	// bytes, or scratch state is leaking between requests.
+	func() {
+		one, err := New(m, v, Config{Replicas: 1, BeamWidth: beam})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(one.Handler())
+		defer ts.Close()
+		for i, p := range pages {
+			for rep := 0; rep < 3; rep++ {
+				status, body, err := postBrief(ts.URL, p.HTML)
+				if err != nil || status != http.StatusOK {
+					t.Fatalf("page %d repeat %d: status %d err %v", i, rep, status, err)
+				}
+				if !bytes.Equal(body, want[i]) {
+					t.Fatalf("page %d repeat %d: warm replica response diverges from serial path:\n got %s\nwant %s",
+						i, rep, body, want[i])
+				}
+			}
+		}
+	}()
 
 	var accessLog bytes.Buffer
 	srv, err := New(m, v, Config{Replicas: 3, QueueDepth: 64, BeamWidth: beam, AccessLog: &accessLog})
@@ -87,6 +115,12 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
+
+	// Boot-time warmup (what wbserve -warm does) must not perturb outputs:
+	// every post-warmup briefing below still has to match the serial bytes.
+	if err := srv.Pool().Warm(pages[0].HTML); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
 
 	// 4 concurrent clients × all pages, interleaved across replicas.
 	const clients = 4
@@ -106,17 +140,8 @@ func TestServeEndToEnd(t *testing.T) {
 					errs <- "bad status"
 					continue
 				}
-				var got, ref wb.Brief
-				if err := json.Unmarshal(body, &got); err != nil {
-					errs <- err.Error()
-					continue
-				}
-				if err := json.Unmarshal(want[i], &ref); err != nil {
-					errs <- err.Error()
-					continue
-				}
-				if !reflect.DeepEqual(got, ref) {
-					errs <- "pooled briefing diverges from serial path"
+				if !bytes.Equal(body, want[i]) {
+					errs <- "pooled briefing diverges byte-wise from serial path"
 				}
 			}
 		}()

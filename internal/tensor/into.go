@@ -88,18 +88,7 @@ func MatMulTransBInto(dst, m, o *Matrix) {
 		panic(fmt.Sprintf("tensor: MatMulTransBInto dim mismatch %dx%d · (%dx%d)ᵀ", m.Rows, m.Cols, o.Rows, o.Cols))
 	}
 	dstShapeCheck(dst, m.Rows, o.Rows, "MatMulTransBInto")
-	for i := 0; i < m.Rows; i++ {
-		mRow := m.Row(i)
-		rRow := dst.Row(i)
-		for j := 0; j < o.Rows; j++ {
-			oRow := o.Row(j)
-			var s float64
-			for k, a := range mRow {
-				s += a * oRow[k]
-			}
-			rRow[j] = s
-		}
-	}
+	matMulTransBBlocked(dst, m, o)
 	debugFinite("MatMulTransBInto", dst)
 }
 
@@ -110,30 +99,14 @@ func MatMulTransAInto(dst, m, o *Matrix) {
 		panic(fmt.Sprintf("tensor: MatMulTransAInto dim mismatch (%dx%d)ᵀ · %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
 	}
 	dstShapeCheck(dst, m.Cols, o.Cols, "MatMulTransAInto")
-	for k := 0; k < m.Rows; k++ {
-		mRow := m.Row(k)
-		oRow := o.Row(k)
-		for i, a := range mRow {
-			if a == 0 {
-				continue
-			}
-			rRow := dst.Row(i)
-			for j, b := range oRow {
-				rRow[j] += a * b
-			}
-		}
-	}
+	matMulTransARows(dst, m, o, 0, m.Rows)
 	debugFinite("MatMulTransAInto", dst)
 }
 
 // TransposeInto sets dst = mᵀ.
 func TransposeInto(dst, m *Matrix) {
 	dstShapeCheck(dst, m.Cols, m.Rows, "TransposeInto")
-	for i := 0; i < m.Rows; i++ {
-		for j := 0; j < m.Cols; j++ {
-			dst.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
-		}
-	}
+	transposeBlocked(dst, m)
 	debugFinite("TransposeInto", dst)
 }
 

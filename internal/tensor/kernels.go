@@ -1,0 +1,339 @@
+package tensor
+
+// Cache-blocked, register-blocked matrix kernels — the allocation-free
+// inference fast path. Every kernel here preserves the naive loops'
+// per-element accumulation order (contributions arrive in ascending k for
+// each output cell), so results are bitwise identical to the reference
+// implementations below: blocking only changes WHICH cells are in flight
+// at once, never the order of floating-point additions into one cell.
+// The single permitted divergence is the sign of a zero when an input
+// contains exact zeros (the reference kernels skip a==0 terms, the blocked
+// ones add ±0), which compares equal under == and never changes a value.
+//
+// The register blocking is a quad of independent accumulators: four output
+// cells of one row advance together through the shared k loop, giving
+// 4-way instruction-level parallelism without reassociating any single
+// cell's sum. The cache blocking is B-panel packing: PackBuf rearranges the
+// right-hand matrix into contiguous 4-column panels so the inner loop reads
+// one linear stream instead of four strided ones.
+
+// packWidth is the register-block width: output cells advanced per quad.
+const packWidth = 4
+
+// packMinRows is the minimum left-hand row count for B-panel packing to
+// pay for itself. Packing costs one pass over o (read + write); with fewer
+// rows than this the kernel re-reads o so few times that the unpacked
+// row-streaming loop wins.
+const packMinRows = 4
+
+// transposeTile is the square tile edge for the cache-blocked transpose.
+// 32×32 float64 tiles are 8 KiB per operand — both tiles fit in L1.
+const transposeTile = 32
+
+// PackBuf is a caller-owned, reusable buffer for B-panel packing. The zero
+// value is ready to use; it grows to the largest packed operand it has seen
+// and is then allocation-free. A PackBuf must not be shared between
+// concurrent matmuls — give each worker or serving replica its own (see
+// wb.InferScratch).
+type PackBuf struct {
+	buf []float64
+}
+
+// ensure returns a buffer of at least n floats, growing the backing store
+// geometrically so steady-state calls never allocate.
+func (p *PackBuf) ensure(n int) []float64 {
+	if cap(p.buf) < n {
+		p.buf = make([]float64, n)
+	}
+	return p.buf[:n]
+}
+
+// Footprint reports the buffer's current capacity in floats, exposed for
+// capacity diagnostics and tests.
+func (p *PackBuf) Footprint() int { return cap(p.buf) }
+
+// packPanels rearranges o (k×n, row-major) into packWidth-column panels:
+// panel jp holds columns [jp*4, jp*4+w) as w contiguous values per k row,
+// panels laid out back to back. The trailing panel may be narrower than
+// packWidth; its values are packed at stride w so no padding is read back.
+func packPanels(dst []float64, o *Matrix) {
+	k, n := o.Rows, o.Cols
+	pos := 0
+	for j0 := 0; j0 < n; j0 += packWidth {
+		w := n - j0
+		if w > packWidth {
+			w = packWidth
+		}
+		for r := 0; r < k; r++ {
+			row := o.Data[r*n+j0 : r*n+j0+w]
+			for c, v := range row {
+				dst[pos+c] = v
+			}
+			pos += w
+		}
+	}
+}
+
+// MatMulPackInto accumulates dst += m·o like MatMulInto, but routes the
+// product through the caller-owned pack buffer when the shape profits from
+// panel packing. dst must be zeroed for a plain product. A nil pack falls
+// back to the unpacked blocked kernel.
+func MatMulPackInto(dst, m, o *Matrix, pack *PackBuf) {
+	if m.Cols != o.Rows {
+		panic("tensor: MatMulPackInto inner dim mismatch")
+	}
+	dstShapeCheck(dst, m.Rows, o.Cols, "MatMulPackInto")
+	matMulIntoPacked(dst, m, o, pack)
+	debugFinite("MatMulPackInto", dst)
+}
+
+// matMulIntoPacked is the shared dispatch for MatMulInto and
+// MatMulPackInto: panel-packed register kernel when the shape profits and a
+// pack buffer is available, unpacked row-streaming kernel otherwise, with
+// large products row-partitioned across goroutines either way.
+func matMulIntoPacked(r, m, o *Matrix, pack *PackBuf) {
+	usePack := pack != nil && m.Rows >= packMinRows && o.Rows > 0 && o.Cols > 0
+	var panels []float64
+	if usePack {
+		panels = pack.ensure(o.Rows * o.Cols)
+		packPanels(panels, o)
+	}
+	if m.Rows*m.Cols*o.Cols >= parallelFlopThreshold && m.Rows > 1 {
+		parallelRows(m.Rows, func(lo, hi int) {
+			if usePack {
+				matMulPackedRows(r, m, o, panels, lo, hi)
+			} else {
+				matMulRows(r, m, o, lo, hi)
+			}
+		})
+		return
+	}
+	if usePack {
+		matMulPackedRows(r, m, o, panels, 0, m.Rows)
+		return
+	}
+	matMulRows(r, m, o, 0, m.Rows)
+}
+
+// matMulPackedRows computes output rows [lo, hi) of r += m·o reading o
+// through its packed panels: per output row a quad of accumulators walks
+// one contiguous panel stream, accumulating each cell's sum in ascending k
+// exactly like the reference kernel.
+func matMulPackedRows(r, m, o *Matrix, panels []float64, lo, hi int) {
+	k, n := o.Rows, o.Cols
+	for i := lo; i < hi; i++ {
+		mRow := m.Row(i)
+		rRow := r.Row(i)
+		pos := 0
+		for j0 := 0; j0 < n; j0 += packWidth {
+			if n-j0 >= packWidth {
+				s0, s1, s2, s3 := rRow[j0], rRow[j0+1], rRow[j0+2], rRow[j0+3]
+				p := panels[pos : pos+4*k]
+				for kk, a := range mRow {
+					q := p[4*kk : 4*kk+4 : 4*kk+4]
+					s0 += a * q[0]
+					s1 += a * q[1]
+					s2 += a * q[2]
+					s3 += a * q[3]
+				}
+				rRow[j0], rRow[j0+1], rRow[j0+2], rRow[j0+3] = s0, s1, s2, s3
+				pos += 4 * k
+				continue
+			}
+			w := n - j0
+			for c := 0; c < w; c++ {
+				s := rRow[j0+c]
+				for kk, a := range mRow {
+					s += a * panels[pos+kk*w+c]
+				}
+				rRow[j0+c] = s
+			}
+			pos += w * k
+		}
+	}
+}
+
+// --- Reference kernels ------------------------------------------------------
+//
+// The pre-blocking naive loops, kept verbatim as the ground truth the
+// property tests in kernels_test.go compare every blocked kernel against.
+// They are not used on any production path.
+
+// referenceMatMul accumulates dst += m·o with the original ikj loops.
+func referenceMatMul(dst, m, o *Matrix) {
+	for i := 0; i < m.Rows; i++ {
+		mRow := m.Row(i)
+		rRow := dst.Row(i)
+		for k, a := range mRow {
+			if a == 0 {
+				continue
+			}
+			oRow := o.Row(k)
+			for j, b := range oRow {
+				rRow[j] += a * b
+			}
+		}
+	}
+}
+
+// referenceMatMulTransB sets dst = m·oᵀ with the original dot-product loops.
+func referenceMatMulTransB(dst, m, o *Matrix) {
+	for i := 0; i < m.Rows; i++ {
+		mRow := m.Row(i)
+		rRow := dst.Row(i)
+		for j := 0; j < o.Rows; j++ {
+			oRow := o.Row(j)
+			var s float64
+			for k, a := range mRow {
+				s += a * oRow[k]
+			}
+			rRow[j] = s
+		}
+	}
+}
+
+// referenceMatMulTransA accumulates dst += mᵀ·o with the original
+// zero-skipping loops.
+func referenceMatMulTransA(dst, m, o *Matrix) {
+	for k := 0; k < m.Rows; k++ {
+		mRow := m.Row(k)
+		oRow := o.Row(k)
+		for i, a := range mRow {
+			if a == 0 {
+				continue
+			}
+			rRow := dst.Row(i)
+			for j, b := range oRow {
+				rRow[j] += a * b
+			}
+		}
+	}
+}
+
+// referenceTranspose sets dst = mᵀ with the original column-strided writes.
+func referenceTranspose(dst, m *Matrix) {
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			dst.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
+		}
+	}
+}
+
+// --- Blocked kernels --------------------------------------------------------
+
+// matMulRows computes output rows [lo, hi) of r += m·o: the row-streaming
+// axpy loop with a 4x-unrolled inner loop. The a==0 skip is kept — it is
+// essentially free on dense inputs (the branch is always taken, hence
+// perfectly predicted) and saves a full row pass per masked-out activation
+// during dropout training.
+func matMulRows(r, m, o *Matrix, lo, hi int) {
+	n := o.Cols
+	for i := lo; i < hi; i++ {
+		mRow := m.Row(i)
+		rRow := r.Row(i)
+		for k, a := range mRow {
+			if a == 0 {
+				continue
+			}
+			oRow := o.Row(k)
+			j := 0
+			for ; j+packWidth <= n; j += packWidth {
+				q := oRow[j : j+4 : j+4]
+				s := rRow[j : j+4 : j+4]
+				s[0] += a * q[0]
+				s[1] += a * q[1]
+				s[2] += a * q[2]
+				s[3] += a * q[3]
+			}
+			for ; j < n; j++ {
+				rRow[j] += a * oRow[j]
+			}
+		}
+	}
+}
+
+// matMulTransBBlocked sets dst = m·oᵀ advancing four output columns (four
+// rows of o) per quad: four independent dot-product accumulators share one
+// pass over the m row, each accumulating its own cell in ascending k.
+func matMulTransBBlocked(dst, m, o *Matrix) {
+	rows := o.Rows
+	for i := 0; i < m.Rows; i++ {
+		mRow := m.Row(i)
+		rRow := dst.Row(i)
+		j := 0
+		for ; j+packWidth <= rows; j += packWidth {
+			o0, o1, o2, o3 := o.Row(j), o.Row(j+1), o.Row(j+2), o.Row(j+3)
+			var s0, s1, s2, s3 float64
+			for k, a := range mRow {
+				s0 += a * o0[k]
+				s1 += a * o1[k]
+				s2 += a * o2[k]
+				s3 += a * o3[k]
+			}
+			rRow[j], rRow[j+1], rRow[j+2], rRow[j+3] = s0, s1, s2, s3
+		}
+		for ; j < rows; j++ {
+			oRow := o.Row(j)
+			var s float64
+			for k, a := range mRow {
+				s += a * oRow[k]
+			}
+			rRow[j] = s
+		}
+	}
+}
+
+// matMulTransARows accumulates dst += mᵀ·o for k rows [lo, hi) of m with a
+// branchless 4x-unrolled axpy. The reference kernel's a==0 skip is gone:
+// on the dense gradients this kernel sees in backward passes the skip never
+// fires yet costs a data-dependent branch per scalar, and on dropout-sparse
+// inputs (~20% zeros) the mispredictions eat the skipped work (measured in
+// BenchmarkMatMulTransAKernels).
+func matMulTransARows(dst, m, o *Matrix, lo, hi int) {
+	n := o.Cols
+	for k := lo; k < hi; k++ {
+		mRow := m.Row(k)
+		oRow := o.Row(k)
+		for i, a := range mRow {
+			rRow := dst.Row(i)
+			j := 0
+			for ; j+packWidth <= n; j += packWidth {
+				q := oRow[j : j+4 : j+4]
+				s := rRow[j : j+4 : j+4]
+				s[0] += a * q[0]
+				s[1] += a * q[1]
+				s[2] += a * q[2]
+				s[3] += a * q[3]
+			}
+			for ; j < n; j++ {
+				rRow[j] += a * oRow[j]
+			}
+		}
+	}
+}
+
+// transposeBlocked sets dst = mᵀ tile by tile, so both the row-strided
+// reads and the column-strided writes stay within one L1-resident
+// transposeTile² block instead of sweeping a full matrix-height stride per
+// element.
+func transposeBlocked(dst, m *Matrix) {
+	rows, cols := m.Rows, m.Cols
+	for i0 := 0; i0 < rows; i0 += transposeTile {
+		iMax := i0 + transposeTile
+		if iMax > rows {
+			iMax = rows
+		}
+		for j0 := 0; j0 < cols; j0 += transposeTile {
+			jMax := j0 + transposeTile
+			if jMax > cols {
+				jMax = cols
+			}
+			for i := i0; i < iMax; i++ {
+				src := m.Data[i*cols+j0 : i*cols+jMax]
+				for jj, v := range src {
+					dst.Data[(j0+jj)*rows+i] = v
+				}
+			}
+		}
+	}
+}

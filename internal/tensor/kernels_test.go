@@ -1,0 +1,157 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// kernelShapes is the property-test shape grid: odd dims, single rows and
+// columns, degenerate zero-row/zero-column operands (constructed through
+// FromSlice, since New rejects them), and a few square/rectangular bulk
+// shapes that cross the packing and tiling thresholds.
+var kernelShapes = []struct{ r, k, c int }{
+	{1, 1, 1},
+	{1, 16, 64}, // LSTM-step profile: one row, wide output
+	{7, 1, 5},   // inner dim 1
+	{5, 7, 1},   // single output column
+	{1, 1, 9}, {9, 1, 1},
+	{3, 5, 7}, {7, 5, 3}, // odd everything
+	{4, 4, 4}, {8, 8, 8},
+	{33, 17, 29},                    // off-by-one around the quad width
+	{64, 64, 64},                    // crosses packMinRows and fills several panels
+	{0, 3, 4}, {3, 0, 4}, {3, 4, 0}, // empty operands
+}
+
+// randMat fills a shape with uniform values; zeroFrac entries are forced to
+// exactly 0 to exercise the reference kernels' zero-skip branch against the
+// branchless blocked kernels.
+func randMat(rows, cols int, zeroFrac float64, rng *rand.Rand) *Matrix {
+	data := make([]float64, rows*cols)
+	for i := range data {
+		if rng.Float64() < zeroFrac {
+			continue
+		}
+		data[i] = rng.NormFloat64()
+	}
+	return FromSlice(rows, cols, data)
+}
+
+// exactEqual requires identical shape and exactly equal entries (== treats
+// +0 and -0 as equal, the one sign difference the blocked kernels permit).
+func exactEqual(t *testing.T, what string, got, want *Matrix) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", what, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i, v := range want.Data {
+		if got.Data[i] != v {
+			t.Fatalf("%s: entry %d = %v, want %v (must be bitwise-order identical)", what, i, got.Data[i], v)
+		}
+	}
+}
+
+// TestKernelEquivalenceMatMul checks every matmul entry point — the
+// unpacked blocked kernel, the panel-packed kernel, and the accumulate
+// semantics over a nonzero destination — against referenceMatMul.
+func TestKernelEquivalenceMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pack := &PackBuf{}
+	for _, sh := range kernelShapes {
+		for _, zeroFrac := range []float64{0, 0.3} {
+			m := randMat(sh.r, sh.k, zeroFrac, rng)
+			o := randMat(sh.k, sh.c, zeroFrac, rng)
+			seed := randMat(sh.r, sh.c, 0, rng) // accumulate onto nonzero dst
+
+			want := FromSlice(sh.r, sh.c, append([]float64(nil), seed.Data...))
+			referenceMatMul(want, m, o)
+
+			got := FromSlice(sh.r, sh.c, append([]float64(nil), seed.Data...))
+			matMulRows(got, m, o, 0, m.Rows)
+			exactEqual(t, "matMulRows", got, want)
+
+			packed := FromSlice(sh.r, sh.c, append([]float64(nil), seed.Data...))
+			matMulIntoPacked(packed, m, o, pack)
+			exactEqual(t, "matMulIntoPacked", packed, want)
+
+			if sh.r > 0 && sh.k > 0 && sh.c > 0 {
+				viaAPI := New(sh.r, sh.c)
+				copy(viaAPI.Data, seed.Data)
+				MatMulPackInto(viaAPI, m, o, pack)
+				exactEqual(t, "MatMulPackInto", viaAPI, want)
+			}
+		}
+	}
+}
+
+// TestKernelEquivalenceMatMulTransB checks the register-quad m·oᵀ kernel.
+func TestKernelEquivalenceMatMulTransB(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, sh := range kernelShapes {
+		for _, zeroFrac := range []float64{0, 0.3} {
+			m := randMat(sh.r, sh.k, zeroFrac, rng)
+			o := randMat(sh.c, sh.k, zeroFrac, rng) // o shares m's col count
+			want := FromSlice(sh.r, sh.c, make([]float64, sh.r*sh.c))
+			referenceMatMulTransB(want, m, o)
+			got := FromSlice(sh.r, sh.c, make([]float64, sh.r*sh.c))
+			matMulTransBBlocked(got, m, o)
+			exactEqual(t, "matMulTransBBlocked", got, want)
+		}
+	}
+}
+
+// TestKernelEquivalenceMatMulTransA checks the branchless mᵀ·o kernel,
+// including accumulate semantics and zero-laden inputs where the reference
+// kernel's skip branch fires.
+func TestKernelEquivalenceMatMulTransA(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, sh := range kernelShapes {
+		for _, zeroFrac := range []float64{0, 0.3} {
+			m := randMat(sh.k, sh.r, zeroFrac, rng)
+			o := randMat(sh.k, sh.c, zeroFrac, rng)
+			seed := randMat(sh.r, sh.c, 0, rng)
+
+			want := FromSlice(sh.r, sh.c, append([]float64(nil), seed.Data...))
+			referenceMatMulTransA(want, m, o)
+			got := FromSlice(sh.r, sh.c, append([]float64(nil), seed.Data...))
+			matMulTransARows(got, m, o, 0, m.Rows)
+			exactEqual(t, "matMulTransARows", got, want)
+		}
+	}
+}
+
+// TestKernelEquivalenceTranspose checks the tiled transpose, including
+// shapes that do not divide the tile edge.
+func TestKernelEquivalenceTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, sh := range []struct{ r, c int }{
+		{1, 1}, {1, 9}, {9, 1}, {3, 5}, {31, 33}, {32, 32}, {65, 40}, {100, 7}, {0, 5}, {5, 0},
+	} {
+		m := randMat(sh.r, sh.c, 0, rng)
+		want := FromSlice(sh.c, sh.r, make([]float64, sh.r*sh.c))
+		referenceTranspose(want, m)
+		got := FromSlice(sh.c, sh.r, make([]float64, sh.r*sh.c))
+		transposeBlocked(got, m)
+		exactEqual(t, "transposeBlocked", got, want)
+	}
+}
+
+// TestPackBufReuse verifies a PackBuf grows once and is allocation-free
+// afterwards — the caller-owned-workspace contract InferScratch relies on.
+func TestPackBufReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	pack := &PackBuf{}
+	m := randMat(16, 24, 0, rng)
+	o := randMat(24, 40, 0, rng)
+	dst := New(16, 40)
+	MatMulPackInto(dst, m, o, pack) // sizes the buffer
+	if pack.Footprint() < 24*40 {
+		t.Fatalf("pack footprint %d after first use, want >= %d", pack.Footprint(), 24*40)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		dst.Zero()
+		MatMulPackInto(dst, m, o, pack)
+	})
+	if allocs > 0 {
+		t.Fatalf("warm MatMulPackInto allocates %v per run, want 0", allocs)
+	}
+}

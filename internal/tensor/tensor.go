@@ -215,34 +215,11 @@ const parallelFlopThreshold = 1 << 18
 
 // matMulInto computes r = m·o using an ikj loop order that keeps the inner
 // loop streaming over contiguous rows of o — the standard cache-friendly
-// layout for row-major data. Large products are row-partitioned across
-// goroutines; each output row is owned by exactly one goroutine, so the
-// result is deterministic.
+// layout for row-major data (see kernels.go for the blocked loop bodies).
+// Large products are row-partitioned across goroutines; each output row is
+// owned by exactly one goroutine, so the result is deterministic.
 func matMulInto(r, m, o *Matrix) {
-	if m.Rows*m.Cols*o.Cols >= parallelFlopThreshold && m.Rows > 1 {
-		parallelRows(m.Rows, func(lo, hi int) {
-			matMulRows(r, m, o, lo, hi)
-		})
-		return
-	}
-	matMulRows(r, m, o, 0, m.Rows)
-}
-
-// matMulRows computes output rows [lo, hi) of r = m·o.
-func matMulRows(r, m, o *Matrix, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		mRow := m.Row(i)
-		rRow := r.Row(i)
-		for k, a := range mRow {
-			if a == 0 {
-				continue
-			}
-			oRow := o.Row(k)
-			for j, b := range oRow {
-				rRow[j] += a * b
-			}
-		}
-	}
+	matMulIntoPacked(r, m, o, nil)
 }
 
 // parallelRows splits [0, n) into one chunk per worker and runs fn on each
@@ -278,18 +255,7 @@ func (m *Matrix) MatMulTransB(o *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: MatMulTransB dim mismatch %dx%d · (%dx%d)ᵀ", m.Rows, m.Cols, o.Rows, o.Cols))
 	}
 	r := New(m.Rows, o.Rows)
-	for i := 0; i < m.Rows; i++ {
-		mRow := m.Row(i)
-		rRow := r.Row(i)
-		for j := 0; j < o.Rows; j++ {
-			oRow := o.Row(j)
-			var s float64
-			for k, a := range mRow {
-				s += a * oRow[k]
-			}
-			rRow[j] = s
-		}
-	}
+	matMulTransBBlocked(r, m, o)
 	return r
 }
 
@@ -299,30 +265,14 @@ func (m *Matrix) MatMulTransA(o *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: MatMulTransA dim mismatch (%dx%d)ᵀ · %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
 	}
 	r := New(m.Cols, o.Cols)
-	for k := 0; k < m.Rows; k++ {
-		mRow := m.Row(k)
-		oRow := o.Row(k)
-		for i, a := range mRow {
-			if a == 0 {
-				continue
-			}
-			rRow := r.Row(i)
-			for j, b := range oRow {
-				rRow[j] += a * b
-			}
-		}
-	}
+	matMulTransARows(r, m, o, 0, m.Rows)
 	return r
 }
 
 // Transpose returns mᵀ.
 func (m *Matrix) Transpose() *Matrix {
 	r := New(m.Cols, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		for j := 0; j < m.Cols; j++ {
-			r.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
-		}
-	}
+	transposeBlocked(r, m)
 	return r
 }
 

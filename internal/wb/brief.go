@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"webbrief/internal/ag"
-	"webbrief/internal/eval"
 	"webbrief/internal/textproc"
 )
 
@@ -23,11 +21,13 @@ type Brief struct {
 const topicMaxLen = 6
 
 // MakeBrief runs a trained model on an instance and assembles the
-// hierarchical briefing.
+// hierarchical briefing. Both stages share one pooled inference workspace;
+// resident callers (serving replicas) should hold their own scratch and call
+// MakeBriefWith instead.
 func MakeBrief(m Model, inst *Instance, v *textproc.Vocab, beamWidth int) *Brief {
-	b := ExtractBrief(m, inst, v)
-	b.Topic = DecodeTopic(m, inst, v, beamWidth)
-	return b
+	s := GetScratch()
+	defer PutScratch(s)
+	return MakeBriefWith(m, inst, v, beamWidth, s)
 }
 
 // ExtractBrief runs one eval-mode forward pass and assembles the extractive
@@ -36,20 +36,9 @@ func MakeBrief(m Model, inst *Instance, v *textproc.Vocab, beamWidth int) *Brief
 // a serving layer can time (and deadline-check between) the encode and
 // decode stages separately.
 func ExtractBrief(m Model, inst *Instance, v *textproc.Vocab) *Brief {
-	b := &Brief{}
-	t := ag.NewTape()
-	out := m.Forward(t, inst, Eval)
-	if tags := PredictTags(out); tags != nil {
-		for _, sp := range eval.SpansFromBIO(tags) {
-			var words []string
-			for i := sp.Start; i < sp.End; i++ {
-				words = append(words, v.Token(inst.IDs[i]))
-			}
-			b.Attributes = append(b.Attributes, words)
-		}
-	}
-	b.Sections = PredictSections(out)
-	return b
+	s := GetScratch()
+	defer PutScratch(s)
+	return ExtractBriefWith(m, inst, v, s)
 }
 
 // DecodeTopic generates the briefing's topic phrase with beam search

@@ -45,20 +45,21 @@ func (g *GloVeEncoder) Dim() int { return g.Emb.Dim() }
 // EncodeDoc implements DocEncoder.
 func (g *GloVeEncoder) EncodeDoc(t *ag.Tape, inst *Instance) (tok, sent *ag.Node) {
 	tok = g.Emb.Forward(t, inst.IDs)
-	sent = t.MatMul(t.Const(meanPoolMatrix(inst)), tok)
+	sent = t.MatMul(t.Const(meanPoolMatrix(t, inst)), tok)
 	return tok, sent
 }
 
 // meanPoolMatrix builds the m×l averaging matrix whose row j averages the
-// token positions of sentence j.
-func meanPoolMatrix(inst *Instance) *tensor.Matrix {
-	m := tensor.New(inst.NumSents(), inst.NumTokens())
-	counts := make([]int, inst.NumSents())
+// token positions of sentence j. Both the matrix and the count scratch come
+// from the tape arena, keeping the encoder forward allocation-free.
+func meanPoolMatrix(t *ag.Tape, inst *Instance) *tensor.Matrix {
+	m := t.AllocValue(inst.NumSents(), inst.NumTokens())
+	counts := t.AllocValue(1, inst.NumSents()).Data
 	for _, s := range inst.SentOf {
 		counts[s]++
 	}
 	for i, s := range inst.SentOf {
-		m.Set(s, i, 1/float64(counts[s]))
+		m.Set(s, i, 1/counts[s])
 	}
 	return m
 }

@@ -188,7 +188,7 @@ func (m *JointWB) Forward(t *ag.Tape, inst *Instance, mode Mode) *Output {
 	// Section-and-key-attributes dual-aware sentence representations (Ĉ_G).
 	eb := t.Tanh(m.WE.Forward(t, t.MeanRows(cE))) // 1×h
 	cGb := t.Tanh(m.WCG.Forward(t, t.ConcatCols(cG, secProbs)))
-	ebRows := t.MatMul(t.Const(onesCol(cGb.Rows())), eb) // m×h broadcast
+	ebRows := t.MatMul(t.Const(onesCol(t, cGb.Rows())), eb) // m×h broadcast
 	aG := softmaxOverRows(t, m.AttG.Forward(t, t.Mul(cGb, ebRows)))
 	attrCtx := t.MatMul(aG, eb) // m×h
 	mem2 := m.MemPr2.Forward(t, t.ConcatCols(cG, attrCtx))

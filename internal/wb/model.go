@@ -4,7 +4,6 @@ import (
 	"webbrief/internal/ag"
 	"webbrief/internal/nn"
 	"webbrief/internal/tensor"
-	"webbrief/internal/textproc"
 )
 
 // Mode selects forward-pass behaviour: Train enables dropout and decoder
@@ -102,16 +101,9 @@ func PredictSections(out *Output) []int {
 // (width ≤ 1 falls back to greedy). It returns nil if the model has no
 // generator head.
 func GenerateTopic(m Model, inst *Instance, beamWidth, maxLen int) []int {
-	t := ag.GetTape()
-	defer ag.PutTape(t)
-	out := m.Forward(t, inst, Eval)
-	if out.Memory == nil || out.Dec == nil {
-		return nil
-	}
-	if beamWidth <= 1 {
-		return out.Dec.Greedy(t, out.Memory, textproc.BosID, textproc.EosID, maxLen)
-	}
-	return out.Dec.BeamSearch(t, out.Memory, textproc.BosID, textproc.EosID, beamWidth, maxLen)
+	s := GetScratch()
+	defer PutScratch(s)
+	return GenerateTopicWith(m, inst, beamWidth, maxLen, s)
 }
 
 // sentProbsToTokens expands per-sentence probabilities (m×1) to per-token
@@ -129,18 +121,24 @@ func softmaxOverRows(t *ag.Tape, col *ag.Node) *ag.Node {
 }
 
 // zeroRow returns a constant 1×dim zero row used to pad Markov-dependency
-// neighbours at document boundaries.
+// neighbours at document boundaries. It draws from the tape arena so the
+// inference fast path stays allocation-free.
 func zeroRow(t *ag.Tape, dim int) *ag.Node {
-	return t.Const(tensor.New(1, dim))
+	return t.Const(t.AllocValue(1, dim))
 }
 
 // rowSum reduces each row of a to a single column (l×1) by multiplying with
 // a ones vector.
 func rowSum(t *ag.Tape, a *ag.Node) *ag.Node {
-	ones := tensor.Full(a.Cols(), 1, 1)
-	return t.MatMul(a, t.Const(ones))
+	return t.MatMul(a, t.Const(onesCol(t, a.Cols())))
 }
 
-// onesCol returns an n×1 all-ones matrix, used to broadcast a 1×d row to n
-// rows via matrix product.
-func onesCol(n int) *tensor.Matrix { return tensor.Full(n, 1, 1) }
+// onesCol returns an n×1 all-ones matrix from the tape arena, used to
+// broadcast a 1×d row to n rows via matrix product.
+func onesCol(t *ag.Tape, n int) *tensor.Matrix {
+	ones := t.AllocValue(n, 1)
+	for i := range ones.Data {
+		ones.Data[i] = 1
+	}
+	return ones
+}

@@ -209,10 +209,11 @@ func DevLoss(m Model, insts []*Instance) float64 {
 	}
 	losses := make([]float64, len(insts))
 	parallelInstances(len(insts), func(i int) {
-		t := ag.GetTape()
-		defer ag.PutTape(t)
-		out := m.Forward(t, insts[i], Distill) // teacher forcing, no dropout
-		losses[i] = Loss(t, out, insts[i]).Value.Data[0]
+		s := GetScratch()
+		defer PutScratch(s)
+		s.Tape.Reset()
+		out := m.Forward(s.Tape, insts[i], Distill) // teacher forcing, no dropout
+		losses[i] = Loss(s.Tape, out, insts[i]).Value.Data[0]
 	})
 	var sum float64
 	for _, l := range losses {
@@ -253,9 +254,10 @@ func EvaluateExtraction(m Model, insts []*Instance) eval.PRF1 {
 	pred := make([][]eval.Span, len(insts))
 	gold := make([][]eval.Span, len(insts))
 	parallelInstances(len(insts), func(i int) {
-		t := ag.GetTape()
-		defer ag.PutTape(t)
-		out := m.Forward(t, insts[i], Eval)
+		s := GetScratch()
+		defer PutScratch(s)
+		s.Tape.Reset()
+		out := m.Forward(s.Tape, insts[i], Eval)
 		pred[i] = eval.SpansFromBIO(PredictTags(out))
 		gold[i] = eval.SpansFromBIO(insts[i].Tags)
 	})
@@ -268,9 +270,10 @@ func EvaluateExtraction(m Model, insts []*Instance) eval.PRF1 {
 func ExtractionCorrect(m Model, insts []*Instance) []bool {
 	out := make([]bool, len(insts))
 	parallelInstances(len(insts), func(i int) {
-		t := ag.GetTape()
-		defer ag.PutTape(t)
-		o := m.Forward(t, insts[i], Eval)
+		s := GetScratch()
+		defer PutScratch(s)
+		s.Tape.Reset()
+		o := m.Forward(s.Tape, insts[i], Eval)
 		p := eval.SpansFromBIO(PredictTags(o))
 		g := eval.SpansFromBIO(insts[i].Tags)
 		out[i] = eval.SpansEqual(p, g)
@@ -313,9 +316,10 @@ func TopicCorrect(m Model, insts []*Instance, v *textproc.Vocab, beamWidth, maxL
 func EvaluateSections(m Model, insts []*Instance) float64 {
 	preds := make([][]int, len(insts))
 	parallelInstances(len(insts), func(i int) {
-		t := ag.GetTape()
-		defer ag.PutTape(t)
-		out := m.Forward(t, insts[i], Eval)
+		s := GetScratch()
+		defer PutScratch(s)
+		s.Tape.Reset()
+		out := m.Forward(s.Tape, insts[i], Eval)
 		preds[i] = PredictSections(out)
 	})
 	var pred, gold []int

@@ -77,7 +77,7 @@ func TestGloVeEncoderShapes(t *testing.T) {
 
 func TestMeanPoolMatrixRowsSumToOne(t *testing.T) {
 	insts, _ := testData(t, 1, 1)
-	m := meanPoolMatrix(insts[0])
+	m := meanPoolMatrix(ag.NewTape(), insts[0])
 	for i := 0; i < m.Rows; i++ {
 		var s float64
 		for _, x := range m.Row(i) {

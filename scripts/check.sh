@@ -24,11 +24,19 @@ go vet ./...
 echo "== wbcheck (determinism + numeric-safety lints)"
 go run ./cmd/wbcheck ./...
 
-echo "== race-enabled tests (ag, wb, serve: e2e + load soak)"
-go test -race ./internal/ag ./internal/wb ./internal/serve
+echo "== race-enabled tests (ag, nn, wb, serve, tensor: e2e + load soak + kernel equivalence)"
+go test -race ./internal/ag ./internal/nn ./internal/wb ./internal/serve ./internal/tensor
 
 echo "== wbdebug invariant layer"
 go test -tags wbdebug ./internal/ag ./internal/tensor
+
+echo "== allocation regression gates (warm fast path must stay allocation-free)"
+go test -run 'TestInferTapeAllocationFree|TestPackBufReuse|TestInferScratchAllocs' \
+    ./internal/ag ./internal/tensor ./internal/wb
+
+echo "== kernel equivalence (blocked kernels vs naive reference, exact equality)"
+go test -run 'TestKernelEquivalence|TestBeamSearchScratchMatchesReference|TestScratchBriefMatchesHeapTape' \
+    ./internal/tensor ./internal/nn ./internal/wb
 
 echo "== wbserve smoke (train tiny bundle, boot, curl /brief + /metrics, drain)"
 SMOKEDIR=$(mktemp -d)
