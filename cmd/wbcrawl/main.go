@@ -3,9 +3,18 @@
 // its homepage, filters out index and multimedia pages, and reports — or
 // saves — the content-rich pages the models train on.
 //
+// The crawl is resilient: per-fetch deadlines, capped-jitter backoff
+// retries, a per-host rate limiter and a circuit breaker, with failures
+// reported per URL instead of aborting the crawl. The -faults flag wraps
+// the fetcher in internal/fault's deterministic chaos layer, so the same
+// seed replays the same outages:
+//
+//	wbcrawl -faults 0.3 -faultseed 7 -fetch-timeout 250ms
+//
 // Usage:
 //
 //	wbcrawl [-domains books,jobs] [-pages N] [-seed N] [-dump dir]
+//	        [-faults RATE] [-faultseed N] [-retries N] [-fetch-timeout D] [-rps R]
 package main
 
 import (
@@ -16,9 +25,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"webbrief/internal/corpus"
 	"webbrief/internal/crawler"
+	"webbrief/internal/fault"
 )
 
 func main() {
@@ -28,10 +39,28 @@ func main() {
 	pages := flag.Int("pages", 20, "content pages generated per website")
 	seed := flag.Int64("seed", 1, "random seed")
 	dump := flag.String("dump", "", "directory to write the kept content pages' HTML into")
+	retries := flag.Int("retries", 3, "retries per fetch after the first attempt")
+	fetchTimeout := flag.Duration("fetch-timeout", 2*time.Second, "per-fetch deadline (0 = none)")
+	rps := flag.Float64("rps", 0, "per-host fetch rate limit in requests/second (0 = unlimited)")
+	faults := flag.Float64("faults", 0, "injected fault rate in [0,1] (0 = no fault injection)")
+	faultseed := flag.Int64("faultseed", 1, "seed for the injected fault schedule")
 	flag.Parse()
 
+	cfg := crawler.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Retries = *retries
+	cfg.FetchTimeout = *fetchTimeout
+	cfg.HostRPS = *rps
+
+	var sched *fault.Schedule
+	if *faults > 0 {
+		fcfg := fault.DefaultConfig(*faultseed)
+		fcfg.Rate = *faults
+		sched = fault.NewSchedule(fcfg)
+	}
+
 	rng := rand.New(rand.NewSource(*seed))
-	var totalKept, totalVisited int
+	var totalKept, totalVisited, totalFailed, totalRetries int
 	for _, name := range strings.Split(*domains, ",") {
 		name = strings.TrimSpace(name)
 		d := corpus.DomainByName(name)
@@ -39,14 +68,23 @@ func main() {
 			log.Fatalf("unknown domain %q", name)
 		}
 		site := corpus.GenerateSite(d, *pages, rng)
-		res, err := crawler.Crawl(crawler.MapFetcher(site.Pages), site.Home, crawler.DefaultConfig())
+		var f crawler.Fetcher = crawler.MapFetcher(site.Pages)
+		if sched != nil {
+			f = fault.NewFetcher(f, sched)
+		}
+		res, err := crawler.Crawl(f, site.Home, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-12s visited %3d pages: %3d content, %d index, %d media, %d failed\n",
-			name, res.Visited, len(res.Content), len(res.Index), len(res.Media), len(res.Failed))
+		fmt.Printf("%-12s visited %3d pages: %3d content, %d index, %d media, %d failed, %d retries\n",
+			name, res.Visited, len(res.Content), len(res.Index), len(res.Media), len(res.Failed), res.Retries)
+		for _, fl := range res.Failed {
+			fmt.Printf("%-12s   failed %s after %d attempts: %s\n", "", fl.URL, fl.Attempts, fl.Reason)
+		}
 		totalKept += len(res.Content)
 		totalVisited += res.Visited
+		totalFailed += len(res.Failed)
+		totalRetries += res.Retries
 		if *dump != "" {
 			dir := filepath.Join(*dump, name)
 			if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -61,5 +99,10 @@ func main() {
 			fmt.Printf("%-12s wrote %d files to %s\n", "", len(res.Content), dir)
 		}
 	}
-	fmt.Printf("total: kept %d content-rich pages out of %d visited\n", totalKept, totalVisited)
+	fmt.Printf("total: kept %d content-rich pages out of %d visited (%d failed, %d retries)\n",
+		totalKept, totalVisited, totalFailed, totalRetries)
+	if sched != nil {
+		fmt.Printf("fault injection: seed %d rate %.2f injected %d faults over %d draws\n",
+			*faultseed, *faults, sched.Injected(), sched.Draws())
+	}
 }

@@ -14,6 +14,15 @@
 // Train a model bundle first with cmd/wbtrain. SIGINT/SIGTERM drain
 // gracefully: /healthz flips to 503, in-flight briefings finish, then the
 // listener closes.
+//
+// The server self-heals: a replica that panics or wedges past -stall is
+// ejected from rotation (the request retries on another replica, up to
+// -replica-retries), probed on -probe-interval, and readmitted after
+// consecutive clean probes. The -chaos flag wraps one pool replica in
+// internal/fault's deterministic fault injector — a built-in resilience
+// drill you can watch through /metrics:
+//
+//	wbserve -model model.bin -chaos 0.3 -chaosseed 7 -stall 500ms
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"webbrief/internal/fault"
 	"webbrief/internal/serve"
 	"webbrief/internal/wb"
 )
@@ -54,6 +64,12 @@ func main() {
 	drainWait := flag.Duration("drain", 30*time.Second, "max time to drain in-flight briefings on shutdown")
 	warm := flag.Bool("warm", true, "brief a synthetic page on every replica before listening, so scratch workspaces are grown ahead of real traffic")
 	quiet := flag.Bool("quiet", false, "disable the JSON access log on stderr")
+	replicaRetries := flag.Int("replica-retries", 1, "re-runs of a request whose replica panicked or stalled before 500 (-1 = none)")
+	stall := flag.Duration("stall", 0, "per-stage watchdog: a stage exceeding this wedges and ejects its replica (0 = disabled)")
+	probeEvery := flag.Duration("probe-interval", 25*time.Millisecond, "re-admission probe cadence for ejected replicas")
+	probeOK := flag.Int("probe-successes", 2, "consecutive clean probes required to readmit an ejected replica")
+	chaos := flag.Float64("chaos", 0, "fault rate in [0,1] injected into ONE pool replica (0 = off) — a resilience drill")
+	chaosSeed := flag.Int64("chaosseed", 1, "seed for the -chaos fault schedule")
 	flag.Parse()
 
 	f, err := os.Open(*modelPath)
@@ -67,11 +83,15 @@ func main() {
 	}
 
 	cfg := serve.Config{
-		Replicas:     *replicas,
-		QueueDepth:   *queue,
-		Timeout:      *timeout,
-		MaxBodyBytes: *maxBody,
-		BeamWidth:    *beam,
+		Replicas:       *replicas,
+		QueueDepth:     *queue,
+		Timeout:        *timeout,
+		MaxBodyBytes:   *maxBody,
+		BeamWidth:      *beam,
+		ReplicaRetries: *replicaRetries,
+		StallTimeout:   *stall,
+		ProbeInterval:  *probeEvery,
+		ProbeSuccesses: *probeOK,
 	}
 	if !*quiet {
 		cfg.AccessLog = os.Stderr
@@ -88,6 +108,21 @@ func main() {
 		}
 		log.Printf("warmed %d replica scratch workspaces in %v",
 			srv.Pool().Size(), time.Since(start).Round(time.Millisecond))
+	}
+
+	// Chaos drill: after warmup, one replica starts drawing faults from a
+	// seeded schedule. Ejections, retries and readmissions show on /metrics.
+	if *chaos > 0 {
+		fcfg := fault.DefaultConfig(*chaosSeed)
+		fcfg.Rate = *chaos
+		sched := fault.NewSchedule(fcfg)
+		err := srv.Pool().WrapOne(func(r serve.Replica) serve.Replica {
+			return fault.NewReplica(r, sched)
+		})
+		if err != nil {
+			log.Fatalf("chaos: %v", err)
+		}
+		log.Printf("chaos drill armed: one replica faulted at rate %.2f, seed %d", *chaos, *chaosSeed)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

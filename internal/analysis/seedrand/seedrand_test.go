@@ -18,3 +18,7 @@ func TestSeedrandHotPath(t *testing.T) {
 func TestSeedrandMainPackage(t *testing.T) {
 	analysistest.Run(t, seedrand.Analyzer, "./testdata/src/cmd")
 }
+
+func TestSeedrandFaultSchedule(t *testing.T) {
+	analysistest.Run(t, seedrand.Analyzer, "./testdata/src/fault")
+}

@@ -1,0 +1,45 @@
+// Package fault is a seedrand fixture shaped like the fault-injection
+// layer: a chaos schedule must draw every fault decision from an explicit
+// seeded *rand.Rand, or identical seeds stop replaying identical faults.
+package fault
+
+import "math/rand"
+
+// Config carries the schedule's seed — the only sanctioned entropy source.
+type Config struct {
+	Seed int64
+	Rate float64
+}
+
+// Schedule is the deterministic fault source.
+type Schedule struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// BadGlobalSchedule draws fault decisions from the process-global source:
+// the schedule's outcomes then depend on every other rand consumer in the
+// process, and replay breaks.
+func BadGlobalSchedule(rate float64) bool {
+	if rand.Float64() < rate { // want "global source"
+		return true
+	}
+	return rand.Intn(4) == 0 // want "global source"
+}
+
+// BadLiteralSeedSchedule hard-codes the seed: two harnesses constructed in
+// one process silently share the same fault sequence.
+func BadLiteralSeedSchedule() *Schedule {
+	return &Schedule{rng: rand.New(rand.NewSource(1))} // want "constant 1"
+}
+
+// NewSchedule derives its RNG from the config seed — the sanctioned shape;
+// identical cfg.Seed replays identical fault schedules.
+func NewSchedule(cfg Config) *Schedule {
+	return &Schedule{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Next draws from the schedule's own RNG, which is always fine.
+func (s *Schedule) Next() bool {
+	return s.rng.Float64() < s.cfg.Rate
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 
 	"webbrief/internal/corpus"
@@ -64,6 +65,28 @@ func TestExtractLinks(t *testing.T) {
 	}
 }
 
+// TestExtractLinksFragmentsAndSchemes pins the satellite fix: fragment-only
+// and javascript: hrefs (in any disguise) must never be enqueued as
+// crawlable URLs, and fragment variants of one page must collapse to one
+// target.
+func TestExtractLinksFragmentsAndSchemes(t *testing.T) {
+	doc := htmldom.Parse(`<a href="#">top</a>
+		<a href="#section-2">frag only</a>
+		<a href="  #padded  ">padded frag</a>
+		<a href="page.html#a">page anchor a</a>
+		<a href="page.html#b">page anchor b</a>
+		<a href="/abs.html#top">abs anchor</a>
+		<a href="javascript:void(0)">js</a>
+		<a href="JavaScript:alert(1)">js mixed case</a>
+		<a href="java&#10;script:alert(1)">js newline</a>
+		<a href="other.html">real</a>`)
+	got := ExtractLinks(doc, "/books/page.html")
+	want := []string{"/books/page.html", "/abs.html", "/books/other.html"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("links: %v want %v", got, want)
+	}
+}
+
 func TestResolveLink(t *testing.T) {
 	cases := []struct{ base, href, want string }{
 		{"/a/b.html", "/c.html", "/c.html"},
@@ -75,6 +98,15 @@ func TestResolveLink(t *testing.T) {
 		{"/a/b.html", "tel:12345", ""},
 		{"/a/b.html", "http://x.com/y", ""},
 		{"/a/b.html", "javascript:void(0)", ""},
+		{"/a/b.html", "JavaScript:void(0)", ""},
+		{"/a/b.html", "java\nscript:void(0)", ""},
+		{"/a/b.html", "java\tscript:void(0)", ""},
+		{"/a/b.html", "#", ""},
+		{"/a/b.html", "#frag", ""},
+		{"/a/b.html", "  #frag  ", ""},
+		{"/a/b.html", "c.html#frag", "/a/c.html"},
+		{"/a/b.html", "/x.html#top", "/x.html"},
+		{"/a/b.html", "c.html#a#b", "/a/c.html"},
 	}
 	for _, c := range cases {
 		if got := resolveLink(c.base, c.href); got != c.want {
@@ -133,8 +165,16 @@ func TestCrawlHandlesDeadLinks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Failed) != 1 || res.Failed[0] != "/dead.html" {
+	if len(res.Failed) != 1 || res.Failed[0].URL != "/dead.html" {
 		t.Fatalf("failed: %v", res.Failed)
+	}
+	// A 404 is permanent: one attempt, no retry burn, and the reason is
+	// carried through.
+	if f := res.Failed[0]; f.Attempts != 1 || !strings.Contains(f.Reason, "404") {
+		t.Fatalf("dead link failure %+v, want 1 attempt with a 404 reason", f)
+	}
+	if res.Retries != 0 {
+		t.Fatalf("crawl spent %d retries on a permanent 404", res.Retries)
 	}
 	if len(res.Content) != 1 {
 		t.Fatalf("content: %v", res.ContentURLs())

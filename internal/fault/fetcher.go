@@ -1,0 +1,92 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// PlainFetcher is the crawler-side fetch contract, restated structurally so
+// this package needs no import of internal/crawler (and the crawler's chaos
+// tests can import this package without a cycle). crawler.MapFetcher and
+// any crawler.Fetcher satisfy it.
+type PlainFetcher interface {
+	Fetch(url string) (string, error)
+}
+
+// InjectedError is the error a faulted fetch returns; callers can
+// errors.As it to tell injected chaos from organic failures.
+type InjectedError struct {
+	Kind Kind
+	URL  string
+}
+
+// Error implements error.
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("fault: injected %s for %s", e.Kind, e.URL)
+}
+
+// Fetcher wraps any PlainFetcher with the faults a Schedule draws. It
+// implements both the plain Fetch contract and the deadline-aware
+// FetchContext contract the hardened crawler prefers:
+//
+//	Error:   the fetch fails immediately with an *InjectedError;
+//	Timeout: the fetch blocks past the caller's deadline (or TimeoutHang
+//	         when there is none), then fails;
+//	Slow:    the fetch is delayed, then proceeds — unless the delay would
+//	         cross the deadline, in which case it degenerates to Timeout;
+//	Garbage: the fetch "succeeds" with the schedule's garbage bytes
+//	         instead of the page.
+type Fetcher struct {
+	Inner PlainFetcher
+	Sched *Schedule
+	// Sleep is the blocking seam (nil = time.Sleep); chaos tests inject a
+	// virtual clock here so timeout faults resolve instantly.
+	Sleep func(time.Duration)
+}
+
+// NewFetcher wraps inner with faults drawn from sched.
+func NewFetcher(inner PlainFetcher, sched *Schedule) *Fetcher {
+	return &Fetcher{Inner: inner, Sched: sched}
+}
+
+func (f *Fetcher) sleep(d time.Duration) {
+	if f.Sleep != nil {
+		f.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// Fetch implements the plain crawler.Fetcher contract (no deadline:
+// Timeout faults block for TimeoutHang).
+func (f *Fetcher) Fetch(url string) (string, error) {
+	return f.FetchContext(context.Background(), url)
+}
+
+// FetchContext applies the next scheduled fault, honouring ctx's deadline:
+// a fault that outlasts the deadline yields context.DeadlineExceeded after
+// blocking (under a virtual clock, instantly) until the deadline.
+func (f *Fetcher) FetchContext(ctx context.Context, url string) (string, error) {
+	ft := f.Sched.Next()
+	switch ft.Kind {
+	case Error:
+		return "", &InjectedError{Kind: Error, URL: url}
+	case Timeout:
+		if dl, ok := ctx.Deadline(); ok {
+			f.sleep(time.Until(dl) + time.Millisecond)
+			return "", context.DeadlineExceeded
+		}
+		f.sleep(f.Sched.cfg.TimeoutHang)
+		return "", &InjectedError{Kind: Timeout, URL: url}
+	case Slow:
+		if dl, ok := ctx.Deadline(); ok && ft.Delay >= time.Until(dl) {
+			f.sleep(time.Until(dl) + time.Millisecond)
+			return "", context.DeadlineExceeded
+		}
+		f.sleep(ft.Delay)
+	case Garbage:
+		return string(ft.Body), nil
+	}
+	return f.Inner.Fetch(url)
+}

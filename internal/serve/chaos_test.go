@@ -1,0 +1,402 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"webbrief/internal/fault"
+	"webbrief/internal/wb"
+)
+
+// okReplica briefs instantly and successfully — the healthy pool member.
+type okReplica struct{ briefs atomic.Int64 }
+
+func (r *okReplica) Parse(html string) (*wb.Instance, error) { return &wb.Instance{}, nil }
+func (r *okReplica) Encode(inst *wb.Instance) *wb.Brief      { return &wb.Brief{Topic: []string{"ok"}} }
+func (r *okReplica) Decode(inst *wb.Instance, b *wb.Brief)   { r.briefs.Add(1) }
+
+// panicNReplica panics during its first n Encodes, then behaves.
+type panicNReplica struct {
+	mu      sync.Mutex
+	panics  int
+	encodes int
+}
+
+func (r *panicNReplica) Parse(html string) (*wb.Instance, error) { return &wb.Instance{}, nil }
+func (r *panicNReplica) Encode(inst *wb.Instance) *wb.Brief {
+	r.mu.Lock()
+	r.encodes++
+	p := r.panics > 0
+	if p {
+		r.panics--
+	}
+	r.mu.Unlock()
+	if p {
+		panic("chaos: injected encode panic")
+	}
+	return &wb.Brief{Topic: []string{"ok"}}
+}
+func (r *panicNReplica) Decode(inst *wb.Instance, b *wb.Brief) {}
+
+// wedgeOnceReplica blocks its first Encode until released, then behaves.
+type wedgeOnceReplica struct {
+	once    sync.Once
+	started chan struct{}
+	release chan struct{}
+}
+
+func newWedgeOnceReplica() *wedgeOnceReplica {
+	return &wedgeOnceReplica{started: make(chan struct{}, 1), release: make(chan struct{})}
+}
+
+func (r *wedgeOnceReplica) Parse(html string) (*wb.Instance, error) { return &wb.Instance{}, nil }
+func (r *wedgeOnceReplica) Encode(inst *wb.Instance) *wb.Brief {
+	r.once.Do(func() {
+		r.started <- struct{}{}
+		<-r.release
+	})
+	return &wb.Brief{Topic: []string{"ok"}}
+}
+func (r *wedgeOnceReplica) Decode(inst *wb.Instance, b *wb.Brief) {}
+
+// TestChaosPanicEjectRetryReadmit: a replica that panics mid-Encode is
+// ejected and the request transparently retries on a healthy replica; the
+// ejected replica is probed and readmitted once it briefs cleanly, closing
+// the breaker and restoring full capacity.
+func TestChaosPanicEjectRetryReadmit(t *testing.T) {
+	bad := &panicNReplica{panics: 1}
+	good := &okReplica{}
+	srv := NewFromPool(PoolOf(bad, good), Config{ReplicaRetries: 2, ProbeInterval: 2 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// PoolOf's idle channel is FIFO: the first request draws bad.
+	status, body, err := postBrief(ts.URL, "<p>x</p>")
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("request through a panicking replica: status %d err %v", status, err)
+	}
+	if len(body) == 0 {
+		t.Fatal("empty briefing body")
+	}
+
+	ms := srv.Metrics()
+	if ms.Panics.Load() != 1 || ms.Retries.Load() != 1 || ms.ReplicaFailure.Load() != 0 {
+		t.Fatalf("panics=%d retries=%d failures=%d, want 1/1/0",
+			ms.Panics.Load(), ms.Retries.Load(), ms.ReplicaFailure.Load())
+	}
+	if srv.Pool().Ejections() != 1 {
+		t.Fatalf("ejections=%d, want 1", srv.Pool().Ejections())
+	}
+
+	// The prober readmits bad after two clean probe briefings.
+	waitCond(t, "replica readmission", func() bool { return srv.Pool().Healthy() == 2 })
+	if srv.Pool().Readmissions() != 1 {
+		t.Fatalf("readmissions=%d, want 1", srv.Pool().Readmissions())
+	}
+	closed, open, half := srv.Pool().BreakerStates()
+	if closed != 2 || open != 0 || half != 0 {
+		t.Fatalf("breaker states closed=%d open=%d half=%d, want 2/0/0", closed, open, half)
+	}
+	// The readmitted replica serves again.
+	if status, _, err := postBrief(ts.URL, "<p>x</p>"); err != nil || status != http.StatusOK {
+		t.Fatalf("post-readmission request: status %d err %v", status, err)
+	}
+}
+
+// TestChaosRetryBudgetExhausted500: when every attempt lands on a
+// panicking replica, the request ends in a clean 500 — not a crash, not a
+// hung connection — and the counters say why.
+func TestChaosRetryBudgetExhausted500(t *testing.T) {
+	a := &panicNReplica{panics: 1 << 30}
+	b := &panicNReplica{panics: 1 << 30}
+	srv := NewFromPool(PoolOf(a, b), Config{ReplicaRetries: 1, ProbeInterval: time.Hour})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status, _, err := postBrief(ts.URL, "<p>x</p>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500 after exhausting replica retries", status)
+	}
+	ms := srv.Metrics()
+	if ms.Panics.Load() != 2 || ms.Retries.Load() != 1 || ms.ReplicaFailure.Load() != 1 {
+		t.Fatalf("panics=%d retries=%d failures=%d, want 2/1/1",
+			ms.Panics.Load(), ms.Retries.Load(), ms.ReplicaFailure.Load())
+	}
+	if srv.Pool().Healthy() != 0 {
+		t.Fatalf("healthy=%d, want 0 with both replicas ejected", srv.Pool().Healthy())
+	}
+
+	// With zero healthy replicas /healthz goes unhealthy — load balancers
+	// stop routing before clients see more 500s.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz %d with zero healthy replicas, want 503", resp.StatusCode)
+	}
+}
+
+// TestChaosStallWatchdogEjects: a wedged stage trips the stall watchdog —
+// the request retries elsewhere immediately, the wedged replica is ejected,
+// and once the wedge resolves the prober brings it back.
+func TestChaosStallWatchdogEjects(t *testing.T) {
+	wedge := newWedgeOnceReplica()
+	good := &okReplica{}
+	srv := NewFromPool(PoolOf(wedge, good), Config{
+		ReplicaRetries: 1,
+		StallTimeout:   10 * time.Millisecond,
+		ProbeInterval:  2 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status, _, err := postBrief(ts.URL, "<p>x</p>")
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("request through a wedged replica: status %d err %v", status, err)
+	}
+	ms := srv.Metrics()
+	if ms.Stalls.Load() != 1 || ms.Retries.Load() != 1 {
+		t.Fatalf("stalls=%d retries=%d, want 1/1", ms.Stalls.Load(), ms.Retries.Load())
+	}
+	if srv.Pool().Healthy() != 1 {
+		t.Fatalf("healthy=%d, want 1 while the wedge holds", srv.Pool().Healthy())
+	}
+
+	// Resolve the wedge; the prober readmits.
+	<-wedge.started
+	close(wedge.release)
+	waitCond(t, "wedged replica readmission", func() bool { return srv.Pool().Healthy() == 2 })
+	if srv.Pool().Readmissions() != 1 {
+		t.Fatalf("readmissions=%d, want 1", srv.Pool().Readmissions())
+	}
+}
+
+// wedgePanicReplica blocks Encode until released, then panics — the
+// mid-drain failure mode of the shutdown chaos test.
+type wedgePanicReplica struct {
+	started chan struct{}
+	release chan struct{}
+}
+
+func newWedgePanicReplica() *wedgePanicReplica {
+	return &wedgePanicReplica{started: make(chan struct{}, 8), release: make(chan struct{})}
+}
+
+func (r *wedgePanicReplica) Parse(html string) (*wb.Instance, error) { return &wb.Instance{}, nil }
+func (r *wedgePanicReplica) Encode(inst *wb.Instance) *wb.Brief {
+	r.started <- struct{}{}
+	<-r.release
+	panic("chaos: replica panic mid-drain")
+}
+func (r *wedgePanicReplica) Decode(inst *wb.Instance, b *wb.Brief) {}
+
+// TestChaosShutdownDrainWithPanics is the shutdown-race chaos test: two
+// requests are in flight and one is queued when shutdown begins; both
+// in-flight replicas then panic. The drain must still converge — panicking
+// requests end in clean 500s, the queued request times out with 504, new
+// requests are refused with 503, and Drain reports zero in flight. Run
+// under -race this exercises the eject/drain/prober interleavings.
+func TestChaosShutdownDrainWithPanics(t *testing.T) {
+	a, b := newWedgePanicReplica(), newWedgePanicReplica()
+	srv := NewFromPool(PoolOf(a, b), Config{
+		QueueDepth:     2,
+		Timeout:        300 * time.Millisecond,
+		ReplicaRetries: -1, // no retries: panic → 500 immediately
+		ProbeInterval:  time.Hour,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	results := make(chan int, 3)
+	post := func() {
+		status, _, err := postBrief(ts.URL, "<p>x</p>")
+		if err != nil {
+			status = -1
+		}
+		results <- status
+	}
+	// Two requests occupy both replicas; a third waits in the queue.
+	go post()
+	go post()
+	<-a.started
+	<-b.started
+	go post()
+	waitCond(t, "third request to queue", func() bool { return srv.Metrics().Queued.Load() == 1 })
+
+	// Shutdown begins with all of that in flight; then the replicas blow up.
+	drained := make(chan int64, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drained <- srv.Drain(ctx)
+	}()
+	close(a.release)
+	close(b.release)
+
+	// A request arriving mid-drain is refused, not queued.
+	if status, _, err := postBrief(ts.URL, "<p>x</p>"); err != nil || status != http.StatusServiceUnavailable {
+		t.Fatalf("mid-drain request: status %d err %v, want 503", status, err)
+	}
+
+	got := map[int]int{}
+	for i := 0; i < 3; i++ {
+		got[<-results]++
+	}
+	if got[http.StatusInternalServerError] != 2 || got[http.StatusGatewayTimeout] != 1 {
+		t.Fatalf("outcomes %v, want two 500s (panics) and one 504 (queued past deadline)", got)
+	}
+	if n := <-drained; n != 0 {
+		t.Fatalf("drain left %d requests in flight", n)
+	}
+
+	ms := srv.Metrics()
+	if ms.Panics.Load() != 2 || ms.ReplicaFailure.Load() != 2 || ms.Timeout.Load() != 1 || ms.Draining.Load() != 1 {
+		t.Fatalf("panics=%d failures=%d timeouts=%d draining=%d, want 2/2/1/1",
+			ms.Panics.Load(), ms.ReplicaFailure.Load(), ms.Timeout.Load(), ms.Draining.Load())
+	}
+	// Requests partition: 2×500 + 1×504 + 1×503.
+	if total := ms.Requests.Load(); total != 4 ||
+		total != ms.ReplicaFailure.Load()+ms.Timeout.Load()+ms.Draining.Load() {
+		t.Fatalf("requests_total=%d does not partition into outcomes", total)
+	}
+	// Probers exited on shutdown: the panicked replicas stay ejected.
+	if srv.Pool().Healthy() != 0 {
+		t.Fatalf("healthy=%d after drain, want 0 (probers stop at shutdown)", srv.Pool().Healthy())
+	}
+}
+
+// TestPoolWrapOne covers the seam wbserve's -chaos flag uses: wrapping one
+// idle replica in a fault injector keeps pool accounting intact and the
+// wrapped replica keeps serving.
+func TestPoolWrapOne(t *testing.T) {
+	p := PoolOf(&okReplica{}, &okReplica{})
+	sched := fault.NewSchedule(fault.Config{Seed: 1, Rate: 0})
+	if err := p.WrapOne(func(r Replica) Replica { return fault.NewReplica(r, sched) }); err != nil {
+		t.Fatal(err)
+	}
+	if p.Healthy() != 2 || p.Idle() != 2 {
+		t.Fatalf("healthy=%d idle=%d after WrapOne, want 2/2", p.Healthy(), p.Idle())
+	}
+	closed, open, half := p.BreakerStates()
+	if closed != 2 || open != 0 || half != 0 {
+		t.Fatalf("breaker states %d/%d/%d after WrapOne, want 2/0/0", closed, open, half)
+	}
+	srv := NewFromPool(p, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for i := 0; i < 3; i++ { // both pool members serve, including the wrapped one
+		if status, _, err := postBrief(ts.URL, "<p>x</p>"); err != nil || status != http.StatusOK {
+			t.Fatalf("request %d through wrapped pool: status %d err %v", i, status, err)
+		}
+	}
+
+	drained := PoolOf(&okReplica{})
+	drained.TryGet()
+	if err := drained.WrapOne(func(r Replica) Replica { return r }); err == nil {
+		t.Fatal("WrapOne on a pool with no idle replica should error")
+	}
+}
+
+// TestChaosServeSoakFaultedReplica is the seeded serve soak of the
+// acceptance criteria: a 3-replica pool with one replica wrapped in a
+// fault.Replica at ≥30% fault rate (panics, wedges, slow responses) under
+// concurrent client load. Healthy replicas must keep p99 success — every
+// client request ends in a briefing unless the retry budget provably ran
+// out — and /metrics must reconcile exactly with the outcomes the clients
+// observed. Skipped under -short; scripts/check.sh runs it race-enabled.
+func TestChaosServeSoakFaultedReplica(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short")
+	}
+	sched := fault.NewSchedule(fault.Config{
+		Seed: 11, Rate: 0.35,
+		ErrorWeight: 1, TimeoutWeight: 1, SlowWeight: 1, GarbageWeight: 1,
+		SlowDelay:   time.Millisecond,
+		TimeoutHang: 40 * time.Millisecond, // wedge: resolves after the watchdog fires
+	})
+	faulted := fault.NewReplica(&okReplica{}, sched)
+	srv := NewFromPool(PoolOf(faulted, &okReplica{}, &okReplica{}), Config{
+		ReplicaRetries: 2,
+		StallTimeout:   15 * time.Millisecond,
+		ProbeInterval:  2 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const clients, perClient = 8, 25
+	var ok200, fail500, other atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				status, _, err := postBrief(ts.URL, "<p>soak</p>")
+				switch {
+				case err != nil:
+					other.Add(1)
+				case status == http.StatusOK:
+					ok200.Add(1)
+				case status == http.StatusInternalServerError:
+					fail500.Add(1)
+				default:
+					other.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := int64(clients * perClient)
+	if other.Load() != 0 {
+		t.Fatalf("%d requests ended outside the 200/500 contract", other.Load())
+	}
+	// p99 success: with a 2-retry budget against one faulted replica in
+	// three, terminal 500s need three consecutive faulted draws.
+	if ok200.Load() < total*99/100 {
+		t.Fatalf("successes %d/%d, below p99 with one faulted replica", ok200.Load(), total)
+	}
+
+	// /metrics reconciles exactly with the client-observed outcomes.
+	ms := srv.Metrics()
+	if ms.Requests.Load() != total {
+		t.Fatalf("requests_total=%d, clients sent %d", ms.Requests.Load(), total)
+	}
+	if ms.OK.Load() != ok200.Load() || ms.ReplicaFailure.Load() != fail500.Load() {
+		t.Fatalf("server ok=%d/500=%d, clients saw %d/%d",
+			ms.OK.Load(), ms.ReplicaFailure.Load(), ok200.Load(), fail500.Load())
+	}
+	if ms.Requests.Load() != ms.OK.Load()+ms.ReplicaFailure.Load() {
+		t.Fatalf("counters do not partition: total=%d ok=%d failure=%d",
+			ms.Requests.Load(), ms.OK.Load(), ms.ReplicaFailure.Load())
+	}
+	// Every recovered fault event either retried the request or ended it.
+	if ms.Panics.Load()+ms.Stalls.Load() != ms.Retries.Load()+ms.ReplicaFailure.Load() {
+		t.Fatalf("fault events do not reconcile: panics=%d stalls=%d retries=%d failures=%d",
+			ms.Panics.Load(), ms.Stalls.Load(), ms.Retries.Load(), ms.ReplicaFailure.Load())
+	}
+	if ms.Panics.Load()+ms.Stalls.Load() == 0 {
+		t.Fatal("soak injected no faults; the chaos schedule is not reaching the replica")
+	}
+
+	// Quiesce: the prober returns the faulted replica to rotation, so
+	// capacity recovers fully and ejections balance readmissions.
+	waitCond(t, "pool capacity recovery", func() bool { return srv.Pool().Healthy() == 3 })
+	if srv.Pool().Ejections() != srv.Pool().Readmissions() {
+		t.Fatalf("ejections=%d readmissions=%d after quiesce",
+			srv.Pool().Ejections(), srv.Pool().Readmissions())
+	}
+	if srv.Metrics().InFlight.Load() != 0 || srv.Metrics().Queued.Load() != 0 {
+		t.Fatalf("residual in_flight=%d queued=%d", srv.Metrics().InFlight.Load(), srv.Metrics().Queued.Load())
+	}
+}

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"time"
+
+	"webbrief/internal/wb"
+)
+
+// DefaultProbeHTML is the page re-admission probes brief on an ejected
+// replica: small, but with enough visible text to run every stage of a
+// real model replica.
+const DefaultProbeHTML = `<html><head><title>probe</title></head><body>
+<h1>Re-admission probe</h1>
+<p>This synthetic page checks an ejected replica end to end.</p>
+</body></html>`
+
+// pipelineOutcome summarises one briefing attempt on one replica. Exactly
+// one field is meaningful: faulted (replica panicked or stalled, already
+// ejected), unbriefable (Parse rejected the page), ctxErr (deadline or
+// cancel between stages), or brief (success).
+type pipelineOutcome struct {
+	brief       *wb.Brief
+	unbriefable error
+	ctxErr      error
+	faulted     bool
+}
+
+// recoverPanic runs fn, converting a panic into a returned value.
+func recoverPanic(fn func()) (panicked any) {
+	defer func() { panicked = recover() }()
+	fn()
+	return nil
+}
+
+// runStage runs one pipeline stage on rep, absorbing the two replica
+// pathologies the chaos suite injects:
+//
+//   - a panic is recovered, counted, and ejects the replica;
+//   - with Config.StallTimeout set, a stage that exceeds it is declared
+//     wedged: the replica is ejected immediately (capacity degrades, the
+//     request moves on), and when the wedged stage eventually resolves the
+//     replica enters re-admission probing instead of rotation.
+//
+// It reports whether the stage completed cleanly; on false the replica
+// has been ejected and must not be Put back.
+func (s *Server) runStage(rep Replica, fn func()) bool {
+	if s.cfg.StallTimeout <= 0 {
+		if p := recoverPanic(fn); p != nil {
+			s.metrics.Panics.Add(1)
+			s.ejectAndProbe(rep)
+			return false
+		}
+		return true
+	}
+	done := make(chan any, 1)
+	go func() { done <- recoverPanic(fn) }()
+	timer := time.NewTimer(s.cfg.StallTimeout)
+	defer timer.Stop()
+	select {
+	case p := <-done:
+		if p != nil {
+			s.metrics.Panics.Add(1)
+			s.ejectAndProbe(rep)
+			return false
+		}
+		return true
+	case <-timer.C:
+		s.metrics.Stalls.Add(1)
+		s.pool.Eject(rep)
+		// The wedged goroutine still owns the replica's scratch state;
+		// only once it resolves may probing (and re-admission) begin. If
+		// it never resolves, the replica is lost capacity — degraded, but
+		// never poisoning another request.
+		go func() {
+			if p := <-done; p != nil {
+				s.metrics.Panics.Add(1)
+			}
+			s.probeLoop(rep)
+		}()
+		return false
+	}
+}
+
+// ejectAndProbe takes rep out of rotation and starts its re-admission
+// prober.
+func (s *Server) ejectAndProbe(rep Replica) {
+	s.pool.Eject(rep)
+	go s.probeLoop(rep)
+}
+
+// probeLoop periodically briefs the probe page on an ejected replica and
+// readmits it after ProbeSuccesses consecutive clean runs. It exits on
+// shutdown; an ejected replica then simply stays out of rotation.
+func (s *Server) probeLoop(rep Replica) {
+	s.pool.BeginProbe(rep)
+	ticker := time.NewTicker(s.cfg.ProbeInterval)
+	defer ticker.Stop()
+	consecutive := 0
+	for {
+		select {
+		case <-s.shutdownCh:
+			return
+		case <-ticker.C:
+		}
+		if s.probeOnce(rep) {
+			consecutive++
+		} else {
+			consecutive = 0
+		}
+		if consecutive >= s.cfg.ProbeSuccesses {
+			s.pool.Readmit(rep)
+			return
+		}
+	}
+}
+
+// probeOnce runs the full three-stage pipeline on the probe page,
+// reporting false on a parse error or panic.
+func (s *Server) probeOnce(rep Replica) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	inst, err := rep.Parse(s.cfg.ProbeHTML)
+	if err != nil {
+		return false
+	}
+	rep.Decode(inst, rep.Encode(inst))
+	return true
+}
+
+// briefOn runs the three pipeline stages on rep with per-stage timing and
+// deadline checks between stages. Stage latencies are observed for stages
+// that complete; a faulted stage observes nothing (its duration is the
+// fault's, not the pipeline's).
+func (s *Server) briefOn(ctxErr func() error, rep Replica, body []byte) pipelineOutcome {
+	m := s.metrics
+
+	var inst *wb.Instance
+	var perr error
+	t0 := time.Now()
+	if !s.runStage(rep, func() { inst, perr = rep.Parse(string(body)) }) {
+		return pipelineOutcome{faulted: true}
+	}
+	m.Parse.Observe(time.Since(t0))
+	if perr != nil {
+		return pipelineOutcome{unbriefable: perr}
+	}
+	if err := ctxErr(); err != nil {
+		return pipelineOutcome{ctxErr: err}
+	}
+
+	var brief *wb.Brief
+	t1 := time.Now()
+	if !s.runStage(rep, func() { brief = rep.Encode(inst) }) {
+		return pipelineOutcome{faulted: true}
+	}
+	m.Encode.Observe(time.Since(t1))
+	if err := ctxErr(); err != nil {
+		return pipelineOutcome{ctxErr: err}
+	}
+
+	t2 := time.Now()
+	if !s.runStage(rep, func() { rep.Decode(inst, brief) }) {
+		return pipelineOutcome{faulted: true}
+	}
+	m.Decode.Observe(time.Since(t2))
+	return pipelineOutcome{brief: brief}
+}

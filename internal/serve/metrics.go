@@ -61,18 +61,27 @@ type Metrics struct {
 	// whatever its outcome. The outcome counters below partition it.
 	Requests atomic.Int64
 
-	OK          atomic.Int64 // 200: briefing served
-	BadMethod   atomic.Int64 // 405: non-POST
-	BadRequest  atomic.Int64 // 400: unreadable body
-	TooLarge    atomic.Int64 // 413: body over the limit
-	Unbriefable atomic.Int64 // 422: no visible text
-	Overload    atomic.Int64 // 429: admission queue full
-	Timeout     atomic.Int64 // 504: deadline expired in queue or pipeline
-	Canceled    atomic.Int64 // client disconnected before a response
-	Draining    atomic.Int64 // 503: received during shutdown
+	OK             atomic.Int64 // 200: briefing served
+	BadMethod      atomic.Int64 // 405: non-POST
+	BadRequest     atomic.Int64 // 400: unreadable body
+	TooLarge       atomic.Int64 // 413: body over the limit
+	Unbriefable    atomic.Int64 // 422: no visible text
+	Overload       atomic.Int64 // 429: admission queue full
+	Timeout        atomic.Int64 // 504: deadline expired in queue or pipeline
+	Canceled       atomic.Int64 // client disconnected before a response
+	Draining       atomic.Int64 // 503: received during shutdown
+	ReplicaFailure atomic.Int64 // 500: replica panicked/stalled and the retry budget ran out
 
 	InFlight atomic.Int64 // requests holding (or briefing on) a replica
 	Queued   atomic.Int64 // requests waiting for a replica
+
+	// Resilience counters: every recovered replica panic and detected
+	// stall ejects the offending replica; each such event then either
+	// retries the request on another replica (Retries) or, with the
+	// budget spent, ends it as a ReplicaFailure.
+	Panics  atomic.Int64 // replica panics recovered by the handler
+	Stalls  atomic.Int64 // replica stage stalls caught by the watchdog
+	Retries atomic.Int64 // requests re-run on another replica (retries_total)
 
 	QueueWait histogram // time from admission to replica checkout
 	Parse     histogram // HTML → instance
@@ -86,21 +95,33 @@ type Metrics struct {
 type metricsSnapshot struct {
 	RequestsTotal int64 `json:"requests_total"`
 	Responses     struct {
-		OK          int64 `json:"ok"`
-		BadMethod   int64 `json:"bad_method"`
-		BadRequest  int64 `json:"bad_request"`
-		TooLarge    int64 `json:"too_large"`
-		Unbriefable int64 `json:"unbriefable"`
-		Overload    int64 `json:"overload"`
-		Timeout     int64 `json:"timeout"`
-		Canceled    int64 `json:"canceled"`
-		Draining    int64 `json:"draining"`
+		OK             int64 `json:"ok"`
+		BadMethod      int64 `json:"bad_method"`
+		BadRequest     int64 `json:"bad_request"`
+		TooLarge       int64 `json:"too_large"`
+		Unbriefable    int64 `json:"unbriefable"`
+		Overload       int64 `json:"overload"`
+		Timeout        int64 `json:"timeout"`
+		Canceled       int64 `json:"canceled"`
+		Draining       int64 `json:"draining"`
+		ReplicaFailure int64 `json:"replica_failure"`
 	} `json:"responses"`
-	InFlight   int64 `json:"in_flight"`
-	QueueDepth int64 `json:"queue_depth"`
-	Pool       struct {
-		Replicas int `json:"replicas"`
-		Idle     int `json:"idle"`
+	RetriesTotal int64 `json:"retries_total"`
+	PanicsTotal  int64 `json:"panics_total"`
+	StallsTotal  int64 `json:"stalls_total"`
+	InFlight     int64 `json:"in_flight"`
+	QueueDepth   int64 `json:"queue_depth"`
+	Pool         struct {
+		Replicas        int   `json:"replicas"`
+		Idle            int   `json:"idle"`
+		ReplicasHealthy int   `json:"replicas_healthy"`
+		Ejections       int64 `json:"ejections_total"`
+		Readmissions    int64 `json:"readmissions_total"`
+		BreakerState    struct {
+			Closed   int `json:"closed"`
+			Open     int `json:"open"`
+			HalfOpen int `json:"half_open"`
+		} `json:"breaker_state"`
 	} `json:"pool"`
 	LatencyMS struct {
 		QueueWait histogramSnapshot `json:"queue_wait"`
@@ -124,10 +145,21 @@ func (m *Metrics) snapshot(pool *Pool) metricsSnapshot {
 	s.Responses.Timeout = m.Timeout.Load()
 	s.Responses.Canceled = m.Canceled.Load()
 	s.Responses.Draining = m.Draining.Load()
+	s.Responses.ReplicaFailure = m.ReplicaFailure.Load()
+	s.RetriesTotal = m.Retries.Load()
+	s.PanicsTotal = m.Panics.Load()
+	s.StallsTotal = m.Stalls.Load()
 	s.InFlight = m.InFlight.Load()
 	s.QueueDepth = m.Queued.Load()
 	s.Pool.Replicas = pool.Size()
 	s.Pool.Idle = pool.Idle()
+	s.Pool.ReplicasHealthy = pool.Healthy()
+	s.Pool.Ejections = pool.Ejections()
+	s.Pool.Readmissions = pool.Readmissions()
+	closed, open, half := pool.BreakerStates()
+	s.Pool.BreakerState.Closed = closed
+	s.Pool.BreakerState.Open = open
+	s.Pool.BreakerState.HalfOpen = half
 	s.LatencyMS.QueueWait = m.QueueWait.snapshot()
 	s.LatencyMS.Parse = m.Parse.snapshot()
 	s.LatencyMS.Encode = m.Encode.snapshot()

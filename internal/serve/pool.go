@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 
 	"webbrief/internal/textproc"
 	"webbrief/internal/wb"
@@ -56,13 +57,46 @@ func (r *modelReplica) Decode(inst *wb.Instance, b *wb.Brief) {
 	b.Topic = wb.DecodeTopicWith(r.model, inst, r.vocab, r.beam, r.scratch)
 }
 
+// BreakerState is the health state of one replica, circuit-breaker style.
+type BreakerState int
+
+// The replica breaker states.
+const (
+	BreakerClosed   BreakerState = iota // healthy, in rotation
+	BreakerOpen                         // ejected after a panic or stall, out of rotation
+	BreakerHalfOpen                     // out of rotation, re-admission probes running
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "half_open"
+	}
+}
+
 // Pool holds a fixed set of interchangeable eval-mode replicas. A request
 // checks one out with Get, briefs on it exclusively, and returns it with
 // Put — so up to Size briefings proceed concurrently with no shared mutex,
 // unlike wb.Briefer which serialises every forward pass behind one lock.
+//
+// The pool also tracks per-replica health: a replica that panics or wedges
+// is Ejected (breaker open) instead of Put back, shrinking capacity but
+// never poisoning later requests; re-admission probing (serve.Server)
+// moves it through half-open back to closed once it briefs cleanly again.
 type Pool struct {
 	size int
 	idle chan Replica
+
+	mu           sync.Mutex
+	state        map[Replica]BreakerState
+	healthy      int
+	ejections    int64
+	readmissions int64
 }
 
 // NewPool builds n replicas of m (0 → GOMAXPROCS): the original model plus
@@ -92,10 +126,16 @@ func NewPool(m *wb.JointWB, v *textproc.Vocab, n, beam, maxTokens int) (*Pool, e
 }
 
 // PoolOf wraps pre-built replicas — the seam for serving a non-GloVe model
-// or, in tests, replicas with controlled latency.
+// or, in tests, replicas with controlled latency or injected faults.
 func PoolOf(replicas ...Replica) *Pool {
-	p := &Pool{size: len(replicas), idle: make(chan Replica, len(replicas))}
+	p := &Pool{
+		size:    len(replicas),
+		idle:    make(chan Replica, len(replicas)),
+		state:   make(map[Replica]BreakerState, len(replicas)),
+		healthy: len(replicas),
+	}
 	for _, r := range replicas {
+		p.state[r] = BreakerClosed
 		p.idle <- r
 	}
 	return p
@@ -131,6 +171,24 @@ func (p *Pool) Warm(html string) error {
 	return nil
 }
 
+// WrapOne replaces one idle replica with wrap(replica) — the seam
+// cmd/wbserve's -chaos flag uses to fault-inject a live pool member for
+// resilience drills. The wrapped replica inherits a closed breaker; health
+// accounting is unchanged.
+func (p *Pool) WrapOne(wrap func(Replica) Replica) error {
+	r, ok := p.TryGet()
+	if !ok {
+		return fmt.Errorf("serve: WrapOne needs an idle replica")
+	}
+	w := wrap(r)
+	p.mu.Lock()
+	delete(p.state, r)
+	p.state[w] = BreakerClosed
+	p.mu.Unlock()
+	p.idle <- w
+	return nil
+}
+
 // Get checks a replica out, blocking until one is idle or ctx is done.
 func (p *Pool) Get(ctx context.Context) (Replica, error) {
 	select {
@@ -158,6 +216,83 @@ func (p *Pool) TryGet() (Replica, bool) {
 
 // Put returns a replica to the pool.
 func (p *Pool) Put(r Replica) { p.idle <- r }
+
+// Eject takes a checked-out replica out of rotation (breaker open) instead
+// of Putting it back: capacity shrinks by one, but the suspect replica can
+// never serve another request until Readmit. Ejecting an already-open
+// replica is a no-op (the stall watchdog and a late panic can race).
+func (p *Pool) Eject(r Replica) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.state[r] != BreakerClosed {
+		return
+	}
+	p.state[r] = BreakerOpen
+	p.healthy--
+	p.ejections++
+}
+
+// BeginProbe marks an ejected replica half-open while re-admission probes
+// run against it.
+func (p *Pool) BeginProbe(r Replica) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.state[r] == BreakerOpen {
+		p.state[r] = BreakerHalfOpen
+	}
+}
+
+// Readmit closes an ejected replica's breaker and returns it to rotation.
+func (p *Pool) Readmit(r Replica) {
+	p.mu.Lock()
+	if p.state[r] == BreakerClosed {
+		p.mu.Unlock()
+		return
+	}
+	p.state[r] = BreakerClosed
+	p.healthy++
+	p.readmissions++
+	p.mu.Unlock()
+	p.idle <- r
+}
+
+// Healthy is the number of replicas whose breaker is closed.
+func (p *Pool) Healthy() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.healthy
+}
+
+// BreakerStates counts replicas per breaker state, for /metrics.
+func (p *Pool) BreakerStates() (closed, open, halfOpen int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.state {
+		switch s {
+		case BreakerClosed:
+			closed++
+		case BreakerOpen:
+			open++
+		default:
+			halfOpen++
+		}
+	}
+	return
+}
+
+// Ejections and Readmissions are lifetime counters, for /metrics.
+func (p *Pool) Ejections() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ejections
+}
+
+// Readmissions is the lifetime count of replicas returned to rotation.
+func (p *Pool) Readmissions() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.readmissions
+}
 
 // Size is the number of replicas the pool was built with.
 func (p *Pool) Size() int { return p.size }

@@ -37,7 +37,8 @@ import (
 const DefaultMaxBodyBytes = 4 << 20
 
 // Config sizes a Server. The zero value is usable: GOMAXPROCS replicas, a
-// 64-deep admission queue, no deadline, the default body limit, beam 8.
+// 64-deep admission queue, no deadline, the default body limit, beam 8,
+// one replica retry, probing every 25ms with 2 successes to readmit.
 type Config struct {
 	Replicas     int           // model replicas (0 = GOMAXPROCS)
 	QueueDepth   int           // requests allowed to wait for a replica before 429 (<0 = none wait)
@@ -47,6 +48,21 @@ type Config struct {
 	MaxTokens    int           // document truncation, as in wb.NewBriefer (0 = none)
 	RetryAfter   time.Duration // advisory Retry-After on 429 (0 = 1s)
 	AccessLog    io.Writer     // JSON-line access log (nil = disabled)
+
+	// ReplicaRetries is how many times a request whose replica panicked or
+	// stalled is re-run on another replica before 500 (0 = 1, <0 = none).
+	ReplicaRetries int
+	// StallTimeout is the per-stage watchdog: a stage exceeding it marks
+	// the replica wedged and ejects it (0 = disabled). Set it well above
+	// the slowest healthy stage.
+	StallTimeout time.Duration
+	// ProbeInterval is the re-admission probe cadence for ejected
+	// replicas (0 = 25ms); ProbeSuccesses consecutive clean probe
+	// briefings close the breaker (0 = 2); ProbeHTML is the probe page
+	// ("" = DefaultProbeHTML).
+	ProbeInterval  time.Duration
+	ProbeSuccesses int
+	ProbeHTML      string
 }
 
 // withDefaults resolves zero values.
@@ -66,6 +82,21 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter == 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.ReplicaRetries == 0 {
+		c.ReplicaRetries = 1
+	}
+	if c.ReplicaRetries < 0 {
+		c.ReplicaRetries = 0
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 25 * time.Millisecond
+	}
+	if c.ProbeSuccesses == 0 {
+		c.ProbeSuccesses = 2
+	}
+	if c.ProbeHTML == "" {
+		c.ProbeHTML = DefaultProbeHTML
+	}
 	return c
 }
 
@@ -83,6 +114,11 @@ type Server struct {
 	queueSlots chan struct{}
 
 	ready atomic.Bool
+
+	// shutdownCh is closed by BeginShutdown; re-admission probers exit on
+	// it so ejected replicas stay ejected through a drain.
+	shutdownCh   chan struct{}
+	shutdownOnce sync.Once
 
 	logMu sync.Mutex // serialises access-log lines
 }
@@ -107,6 +143,7 @@ func NewFromPool(pool *Pool, cfg Config) *Server {
 		pool:       pool,
 		metrics:    &Metrics{},
 		queueSlots: make(chan struct{}, cfg.QueueDepth),
+		shutdownCh: make(chan struct{}),
 		mux:        http.NewServeMux(),
 	}
 	s.ready.Store(true)
@@ -130,9 +167,13 @@ func (s *Server) Pool() *Pool { return s.pool }
 
 // BeginShutdown flips the server into draining mode: /healthz reports 503
 // so load balancers stop routing here, and new /brief requests are refused
-// with 503, while requests already admitted run to completion. Pair with
-// http.Server.Shutdown (which waits for in-flight handlers) or Drain.
-func (s *Server) BeginShutdown() { s.ready.Store(false) }
+// with 503, while requests already admitted run to completion.
+// Re-admission probers stop. Pair with http.Server.Shutdown (which waits
+// for in-flight handlers) or Drain.
+func (s *Server) BeginShutdown() {
+	s.ready.Store(false)
+	s.shutdownOnce.Do(func() { close(s.shutdownCh) })
+}
 
 // Drain begins shutdown and blocks until no request holds a replica or ctx
 // expires. It returns the number of requests still in flight (0 on a clean
@@ -244,40 +285,47 @@ func (s *Server) handleBrief(w http.ResponseWriter, r *http.Request) {
 
 	m.InFlight.Add(1)
 	defer m.InFlight.Add(-1)
-	defer s.pool.Put(rep)
 
-	// Stage 1: parse.
-	t0 := time.Now()
-	inst, err := rep.Parse(string(body))
-	m.Parse.Observe(time.Since(t0))
-	if err != nil {
+	// Run the three pipeline stages, retrying on a fresh replica when the
+	// current one panics or stalls — a faulted replica is ejected by
+	// runStage and never Put back, so it degrades capacity without
+	// poisoning this or any later request.
+	var o pipelineOutcome
+	for attempt := 0; ; attempt++ {
+		o = s.briefOn(ctx.Err, rep, body)
+		if !o.faulted {
+			s.pool.Put(rep)
+			break
+		}
+		if attempt >= s.cfg.ReplicaRetries {
+			m.ReplicaFailure.Add(1)
+			lg.Status = http.StatusInternalServerError
+			http.Error(w, "briefing replica failed and the retry budget is spent",
+				http.StatusInternalServerError)
+			return
+		}
+		m.Retries.Add(1)
+		rep, err = s.pool.Get(ctx)
+		if err != nil {
+			s.failCtx(w, &lg, err)
+			return
+		}
+	}
+
+	if o.unbriefable != nil {
 		m.Unbriefable.Add(1)
 		lg.Status = http.StatusUnprocessableEntity
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		http.Error(w, o.unbriefable.Error(), http.StatusUnprocessableEntity)
 		return
 	}
-	if err := ctx.Err(); err != nil {
-		s.failCtx(w, &lg, err)
+	if o.ctxErr != nil {
+		s.failCtx(w, &lg, o.ctxErr)
 		return
 	}
-
-	// Stage 2: encode (forward pass → attributes + sections).
-	t1 := time.Now()
-	brief := rep.Encode(inst)
-	m.Encode.Observe(time.Since(t1))
-	if err := ctx.Err(); err != nil {
-		s.failCtx(w, &lg, err)
-		return
-	}
-
-	// Stage 3: decode (topic generation).
-	t2 := time.Now()
-	rep.Decode(inst, brief)
-	m.Decode.Observe(time.Since(t2))
 
 	eb := getEncodeBuf()
 	defer putEncodeBuf(eb)
-	if err := eb.enc.Encode(brief); err != nil {
+	if err := eb.enc.Encode(o.brief); err != nil {
 		m.BadRequest.Add(1)
 		lg.Status = http.StatusInternalServerError
 		http.Error(w, "encode briefing: "+err.Error(), http.StatusInternalServerError)
@@ -304,12 +352,14 @@ func (s *Server) failCtx(w http.ResponseWriter, lg *accessEntry, err error) {
 	lg.Status = 499 // nginx convention: client closed request
 }
 
-// handleHealthz reports pool readiness: 200 with pool stats while serving,
-// 503 once draining begins.
+// handleHealthz reports pool readiness: 200 with pool stats while serving
+// (status "degraded" when ejected replicas have shrunk capacity), 503 once
+// every replica is ejected or draining begins.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	type health struct {
 		Status   string `json:"status"`
 		Replicas int    `json:"replicas"`
+		Healthy  int    `json:"healthy"`
 		Idle     int    `json:"idle"`
 		Queued   int64  `json:"queued"`
 		InFlight int64  `json:"in_flight"`
@@ -317,11 +367,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	h := health{
 		Status:   "ok",
 		Replicas: s.pool.Size(),
+		Healthy:  s.pool.Healthy(),
 		Idle:     s.pool.Idle(),
 		Queued:   s.metrics.Queued.Load(),
 		InFlight: s.metrics.InFlight.Load(),
 	}
 	code := http.StatusOK
+	switch {
+	case h.Healthy < h.Replicas:
+		h.Status = "degraded"
+	}
+	if h.Healthy == 0 {
+		h.Status = "unhealthy"
+		code = http.StatusServiceUnavailable
+	}
 	if !s.ready.Load() {
 		h.Status = "draining"
 		code = http.StatusServiceUnavailable

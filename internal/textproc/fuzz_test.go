@@ -54,6 +54,11 @@ func FuzzWordPiece(f *testing.F) {
 		if strings.ContainsAny(w, " \t\n") || w == "" {
 			t.Skip()
 		}
+		// A word containing the continuation marker is outside the
+		// round-trip domain: Detokenize must read "##" as glue.
+		if strings.Contains(w, ContinuationPrefix) {
+			t.Skip()
+		}
 		pieces, spans := wp.Tokenize([]string{w})
 		if len(spans) != 1 || spans[0][0] != 0 || spans[0][1] != len(pieces) {
 			t.Fatalf("span does not tile pieces: %v over %d", spans, len(pieces))

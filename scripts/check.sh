@@ -27,6 +27,9 @@ go run ./cmd/wbcheck ./...
 echo "== race-enabled tests (ag, nn, wb, serve, tensor: e2e + load soak + kernel equivalence)"
 go test -race ./internal/ag ./internal/nn ./internal/wb ./internal/serve ./internal/tensor
 
+echo "== chaos suite (seeded fault injection: crawler retries/breaker, serve ejection/drain races)"
+go test -race -run 'Chaos' ./internal/fault ./internal/crawler ./internal/serve
+
 echo "== wbdebug invariant layer"
 go test -tags wbdebug ./internal/ag ./internal/tensor
 
