@@ -6,13 +6,16 @@
 package webbrief_test
 
 import (
+	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"webbrief/internal/corpus"
 	"webbrief/internal/experiments"
@@ -170,11 +173,81 @@ func BenchmarkServeBrief(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			// Warm on the benched page so every replica's arena, pack and
+			// beam buffers hit steady state before the timer starts; the
+			// loop then measures the allocation-free path, not first-use
+			// buffer growth on whichever replicas the scheduler picks.
+			if err := srv.Pool().Warm(html); err != nil {
+				b.Fatal(err)
+			}
 			benchHTTPPath(b, srv.Handler(), html)
 		}
 	}
 	b.Run("replicas=1", bench(1))
 	b.Run("replicas=max", bench(runtime.GOMAXPROCS(0)))
+}
+
+// benchHTTPClients drives handler with exactly `clients` concurrent client
+// goroutines sharing b.N requests — unlike RunParallel, the client count is
+// independent of GOMAXPROCS, so throughput-vs-concurrency curves compare
+// cleanly across -cpu values.
+func benchHTTPClients(b *testing.B, handler http.Handler, html string, clients int) {
+	b.Helper()
+	var bad atomic.Int64
+	var iter atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter.Add(1) <= int64(b.N) {
+				req := httptest.NewRequest(http.MethodPost, "/brief", strings.NewReader(html))
+				rec := httptest.NewRecorder()
+				handler.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					bad.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	if n := bad.Load(); n > 0 {
+		b.Fatalf("%d requests failed", n)
+	}
+}
+
+// BenchmarkServeBriefConcurrency is the continuous-batching scaling grid:
+// req/sec at 1, 4 and 16 concurrent clients with micro-batching off
+// (window=0, the exact per-request path) and on (500µs window). With
+// batching on, req/sec should improve as client concurrency grows —
+// concurrent requests coalesce into B-row fused forwards — while the
+// clients=1 cells measure the price of an empty window. Results land in
+// BENCH_4.json via scripts/bench.sh.
+func BenchmarkServeBriefConcurrency(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		window time.Duration
+	}{{"batch=off", 0}, {"batch=on", 500 * time.Microsecond}} {
+		for _, clients := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/clients=%d", mode.name, clients), func(b *testing.B) {
+				m, v, html := serveBenchModel(b)
+				srv, err := serve.New(m, v, serve.Config{
+					Replicas: 1, QueueDepth: 1 << 16, BeamWidth: 4,
+					BatchWindow: mode.window, BatchMax: 8,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := srv.Warm(html); err != nil {
+					b.Fatal(err)
+				}
+				benchHTTPClients(b, srv.Handler(), html, clients)
+			})
+		}
+	}
 }
 
 // BenchmarkServeBriefSerialMutex is the before-picture: the wb.Briefer

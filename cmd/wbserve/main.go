@@ -23,6 +23,12 @@
 // drill you can watch through /metrics:
 //
 //	wbserve -model model.bin -chaos 0.3 -chaosseed 7 -stall 500ms
+//
+// With -batch-window set, concurrently admitted requests coalesce into one
+// fused batched forward pass (up to -batch-max wide) — higher throughput
+// under concurrent load for a bounded, deadline-aware latency cost:
+//
+//	wbserve -model model.bin -batch-window 2ms -batch-max 8
 package main
 
 import (
@@ -40,16 +46,6 @@ import (
 	"webbrief/internal/serve"
 	"webbrief/internal/wb"
 )
-
-// warmupPage is the synthetic page -warm briefs on each replica at boot.
-// Its only job is to push every scratch buffer — tape arena, pack buffer,
-// beam pools — through one full parse/encode/decode so the first real
-// request finds them grown.
-const warmupPage = `<html><head><title>warmup</title></head><body>
-<h1>Scratch warmup</h1>
-<p>This synthetic page exercises the briefing pipeline once per replica.</p>
-<p>It is briefed and discarded before the listener opens.</p>
-</body></html>`
 
 func main() {
 	log.SetFlags(0)
@@ -70,6 +66,8 @@ func main() {
 	probeOK := flag.Int("probe-successes", 2, "consecutive clean probes required to readmit an ejected replica")
 	chaos := flag.Float64("chaos", 0, "fault rate in [0,1] injected into ONE pool replica (0 = off) — a resilience drill")
 	chaosSeed := flag.Int64("chaosseed", 1, "seed for the -chaos fault schedule")
+	batchWindow := flag.Duration("batch-window", 0, "micro-batching window: admitted requests wait up to this long for batchmates before one fused batched forward (0 = off, exact per-request path)")
+	batchMax := flag.Int("batch-max", 8, "max requests coalesced into one micro-batch")
 	flag.Parse()
 
 	f, err := os.Open(*modelPath)
@@ -92,6 +90,8 @@ func main() {
 		StallTimeout:   *stall,
 		ProbeInterval:  *probeEvery,
 		ProbeSuccesses: *probeOK,
+		BatchWindow:    *batchWindow,
+		BatchMax:       *batchMax,
 	}
 	if !*quiet {
 		cfg.AccessLog = os.Stderr
@@ -103,7 +103,7 @@ func main() {
 
 	if *warm {
 		start := time.Now()
-		if err := srv.Pool().Warm(warmupPage); err != nil {
+		if err := srv.Warm(""); err != nil {
 			log.Fatalf("warmup: %v", err)
 		}
 		log.Printf("warmed %d replica scratch workspaces in %v",

@@ -129,6 +129,22 @@ func (t *Tape) SetPack(p *tensor.PackBuf) { t.pack = p }
 // after Reset.
 func (t *Tape) AllocValue(rows, cols int) *tensor.Matrix { return t.alloc(rows, cols) }
 
+// ViewValue returns a rows×cols matrix header whose backing storage IS data
+// (no copy). The header comes from the tape's arena on arena tapes, so
+// batched kernels can expose row windows of a shared slab — e.g. one beam's
+// hidden state inside a B-row step output — without heap headers and without
+// copying. The view aliases data for its whole lifetime and, like any
+// AllocValue result, is invalid after Reset.
+func (t *Tape) ViewValue(rows, cols int, data []float64) *tensor.Matrix {
+	if t.arena != nil {
+		return t.arena.AllocShared(rows, cols, data)
+	}
+	if len(data) != rows*cols {
+		panic("ag: ViewValue data length does not match shape")
+	}
+	return &tensor.Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
 // Reset clears the tape for reuse, rewinding the node and matrix arenas.
 // The attached sink and rng are kept; recorded nodes become invalid.
 func (t *Tape) Reset() {

@@ -1,0 +1,128 @@
+package nn
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"webbrief/internal/ag"
+	"webbrief/internal/tensor"
+)
+
+// ragged test lengths: 1-token rows, a shared max, and odd middles.
+var raggedLens = [][]int{
+	{1},
+	{3, 3},
+	{1, 7},
+	{7, 1, 4},
+	{5, 2, 5, 1},
+	{1, 1, 1, 1, 1},
+	{6, 3, 1, 7, 2, 5},
+	{4, 4, 4, 4, 4, 4, 4},
+	{7, 6, 5, 4, 3, 2, 1, 7},
+}
+
+// TestBiLSTMForwardBatchMatchesSerial pins ForwardBatch to Forward across
+// ragged batch shapes: every output value must compare equal (== admits the
+// ±0 divergence the blocked kernels document, and nothing else).
+func TestBiLSTMForwardBatchMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const in, hidden = 9, 6
+	bi := NewBiLSTM("b", in, hidden, rng)
+	for _, lens := range raggedLens {
+		// Serial references, one per sequence, each on a fresh pack-routed
+		// infer tape — the exact per-request configuration.
+		inputs := make([]*tensor.Matrix, len(lens))
+		want := make([]*tensor.Matrix, len(lens))
+		for i, l := range lens {
+			inputs[i] = tensor.Uniform(l, in, -1, 1, rng)
+			tp := ag.NewInferTape()
+			tp.SetPack(&tensor.PackBuf{})
+			want[i] = bi.Forward(tp, tp.Const(inputs[i])).Value.Clone()
+		}
+		// One batched pass over all of them on a shared tape.
+		tp := ag.NewInferTape()
+		tp.SetPack(&tensor.PackBuf{})
+		xs := make([]*ag.Node, len(lens))
+		for i := range inputs {
+			xs[i] = tp.Const(inputs[i])
+		}
+		got := bi.ForwardBatch(tp, xs)
+		for i := range got {
+			if got[i].Value.Rows != want[i].Rows || got[i].Value.Cols != want[i].Cols {
+				t.Fatalf("lens %v seq %d: batched shape %dx%d, want %dx%d",
+					lens, i, got[i].Value.Rows, got[i].Value.Cols, want[i].Rows, want[i].Cols)
+			}
+			for k, v := range got[i].Value.Data {
+				if v != want[i].Data[k] {
+					t.Fatalf("lens %v seq %d: value %d diverges: batched %v, serial %v",
+						lens, i, k, v, want[i].Data[k])
+				}
+			}
+		}
+	}
+}
+
+// TestBeamSearchBatchMatchesScratch pins BeamSearchBatch to per-instance
+// BeamSearchScratch: identical token sequences for every instance across
+// batch sizes, widths and ragged memory lengths.
+func TestBeamSearchBatchMatchesScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const vocab, embDim, hidden, memDim = 17, 5, 6, 6
+	const bos, eos, maxLen = 1, 2, 5
+	d := NewAttnDecoder("d", vocab, embDim, hidden, memDim, rng)
+	for _, width := range []int{2, 3, 4} {
+		for _, lens := range raggedLens {
+			mems := make([]*tensor.Matrix, len(lens))
+			want := make([][]int, len(lens))
+			for i, l := range lens {
+				mems[i] = tensor.Uniform(l, memDim, -1, 1, rng)
+				tp := ag.NewInferTape()
+				tp.SetPack(&tensor.PackBuf{})
+				want[i] = d.BeamSearchScratch(tp, tp.Const(mems[i]), bos, eos, width, maxLen,
+					NewBeamScratch(vocab, width, maxLen))
+			}
+			tp := ag.NewInferTape()
+			tp.SetPack(&tensor.PackBuf{})
+			nodes := make([]*ag.Node, len(lens))
+			scratches := make([]*BeamScratch, len(lens))
+			for i := range mems {
+				nodes[i] = tp.Const(mems[i])
+				scratches[i] = NewBeamScratch(vocab, width, maxLen)
+			}
+			got := d.BeamSearchBatch(tp, nodes, bos, eos, width, maxLen, scratches)
+			for i := range got {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Fatalf("width %d lens %v inst %d: batched %v, serial %v",
+						width, lens, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBeamSearchBatchNilScratches checks the convenience paths: a nil
+// scratch slice and nil entries both get throwaway scratches, and reused
+// scratches keep producing identical results (pool ping-pong hygiene).
+func TestBeamSearchBatchNilScratches(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const vocab, embDim, hidden, memDim = 11, 4, 5, 5
+	d := NewAttnDecoder("d", vocab, embDim, hidden, memDim, rng)
+	mems := []*tensor.Matrix{
+		tensor.Uniform(3, memDim, -1, 1, rng),
+		tensor.Uniform(1, memDim, -1, 1, rng),
+	}
+	tp := ag.NewInferTape()
+	tp.SetPack(&tensor.PackBuf{})
+	nodes := []*ag.Node{tp.Const(mems[0]), tp.Const(mems[1])}
+	first := d.BeamSearchBatch(tp, nodes, 1, 2, 3, 4, nil)
+	scratches := []*BeamScratch{NewBeamScratch(vocab, 3, 4), nil}
+	for round := 0; round < 3; round++ {
+		tp.Reset()
+		nodes = []*ag.Node{tp.Const(mems[0]), tp.Const(mems[1])}
+		again := d.BeamSearchBatch(tp, nodes, 1, 2, 3, 4, scratches)
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("round %d: reused scratches diverged: %v vs %v", round, again, first)
+		}
+	}
+}

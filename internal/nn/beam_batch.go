@@ -1,0 +1,205 @@
+package nn
+
+import (
+	"sort"
+
+	"webbrief/internal/ag"
+	"webbrief/internal/tensor"
+)
+
+// BeamSearchBatch runs BeamSearchScratch for several instances at once,
+// fusing each decode depth's per-beam 1-row steps — across every live beam
+// of every unfinished instance — into one R-row batched step. The cell and
+// output matmuls see R rows instead of 1, which is where the batching win
+// lives (one packed R×vocab projection per depth instead of R separate
+// ones). Attention stays per-instance because each instance attends over its
+// own memory, but the R-row hidden-state projection through Att.W is shared.
+//
+// Per instance the decode is exactly BeamSearchScratch: the same frontier
+// ordering, the same topK tie-breaking, the same sort.SliceStable prune, the
+// same done-beam claiming and the same ping-pong token pools, driven by that
+// instance's own BeamScratch. Done beams contribute no slab row and finished
+// instances drop out of the batch entirely (per-row early exit), so the
+// decoded tokens are identical to width-many independent searches.
+//
+// memories[q] is instance q's decoder memory; scratches[q] may be nil (a
+// throwaway scratch is used), as may the whole slice. The returned token
+// slices are copied out and caller-owned; results[q] is nil when instance q
+// decodes to nothing.
+func (d *AttnDecoder) BeamSearchBatch(t *ag.Tape, memories []*ag.Node, bos, eos, width, maxLen int, scratches []*BeamScratch) [][]int {
+	nInst := len(memories)
+	results := make([][]int, nInst)
+	if nInst == 0 {
+		return results
+	}
+	type instSearch struct {
+		bs    *BeamScratch
+		beams []beam
+		next  []beam
+		pool  int
+		live  bool
+	}
+	insts := make([]instSearch, nInst)
+	for q := range insts {
+		var bs *BeamScratch
+		if q < len(scratches) {
+			bs = scratches[q]
+		}
+		if bs == nil {
+			bs = NewBeamScratch(0, width, maxLen)
+		}
+		insts[q] = instSearch{
+			bs:    bs,
+			beams: append(bs.cur[:0], beam{state: d.Cell.ZeroState(t)}),
+			next:  bs.next[:0],
+			live:  true,
+		}
+	}
+	finalize := func(q int) {
+		ist := &insts[q]
+		best := ist.beams[0]
+		for _, b := range ist.beams[1:] {
+			if score(b) > score(best) {
+				best = b
+			}
+		}
+		toks := best.tokens
+		if len(toks) > 0 && best.done {
+			toks = toks[:len(toks)-1] // strip the trailing EOS
+		}
+		// Persist grown frontiers, then hand back a caller-owned copy.
+		ist.bs.cur, ist.bs.next = ist.beams[:0], ist.next[:0]
+		if len(toks) > 0 {
+			results[q] = append([]int(nil), toks...)
+		}
+		ist.live = false
+	}
+	h := d.Cell.Hidden
+	var (
+		lo      = make([]int, nInst) // slab row range [lo, hi) per instance
+		hi      = make([]int, nInst)
+		rowOf = make([]int, 0, nInst)            // owning instance per slab row
+		prev  = make([]int, 0, nInst)            // previous token per slab row
+		hmats = make([]*tensor.Matrix, 0, nInst) // per-row H gather sources
+		cmats = make([]*tensor.Matrix, 0, nInst) // per-row C gather sources
+		zeros []int
+		ctxs  = make([]*ag.Node, 0, nInst)
+	)
+	for depth := 0; depth < maxLen; depth++ {
+		// Register one slab row per live beam, grouped per instance in
+		// frontier order so instance attention blocks stay contiguous.
+		rowOf, prev, hmats, cmats = rowOf[:0], prev[:0], hmats[:0], cmats[:0]
+		for q := range insts {
+			ist := &insts[q]
+			if !ist.live {
+				continue
+			}
+			lo[q] = len(rowOf)
+			for _, b := range ist.beams {
+				if b.done {
+					continue
+				}
+				p := bos
+				if len(b.tokens) > 0 {
+					p = b.tokens[len(b.tokens)-1]
+				}
+				rowOf = append(rowOf, q)
+				prev = append(prev, p)
+				hmats = append(hmats, b.state.H.Value)
+				cmats = append(cmats, b.state.C.Value)
+			}
+			hi[q] = len(rowOf)
+		}
+		r := len(rowOf)
+		if r == 0 {
+			break
+		}
+		for len(zeros) < r {
+			zeros = append(zeros, 0)
+		}
+		// Gather every live beam's state into R-row slabs and take one
+		// fused decoder step (attention, cell, output projection).
+		hp := t.AllocValue(r, h)
+		tensor.GatherRowsInto(hp, hmats, zeros[:r])
+		cp := t.AllocValue(r, h)
+		tensor.GatherRowsInto(cp, cmats, zeros[:r])
+		hpN, cpN := t.Const(hp), t.Const(cp)
+		hw := t.MatMul(hpN, t.Use(d.Att.W))
+		ctxs = ctxs[:0]
+		for q := range insts {
+			if !insts[q].live || hi[q] == lo[q] {
+				continue
+			}
+			sc := t.MatMulTransB(t.SliceRows(hw, lo[q], hi[q]), memories[q])
+			att := t.SoftmaxRows(sc)
+			ctxs = append(ctxs, t.MatMul(att, memories[q]))
+		}
+		ctx := ctxs[0]
+		if len(ctxs) > 1 {
+			ctx = t.ConcatRows(ctxs...)
+		}
+		x := t.ConcatCols2(d.Emb.Forward(t, prev), ctx)
+		st := d.Cell.Step(t, x, State{H: hpN, C: cpN})
+		logits := d.Out.Forward(t, t.ConcatCols2(st.H, ctx))
+		logpAll := t.LogSoftmaxRows(logits)
+		// Per-instance frontier bookkeeping, exactly as BeamSearchScratch.
+		for q := range insts {
+			ist := &insts[q]
+			if !ist.live {
+				continue
+			}
+			bs := ist.bs
+			next := ist.next[:0]
+			slot := 0
+			row := lo[q]
+			for _, b := range ist.beams {
+				if b.done {
+					b.tokens = bs.claim(ist.pool, slot, b.tokens)
+					slot++
+					next = append(next, b)
+					continue
+				}
+				logp := logpAll.Value.Row(row)
+				s := State{
+					H: t.Const(t.ViewValue(1, h, st.H.Value.Row(row))),
+					C: t.Const(t.ViewValue(1, h, st.C.Value.Row(row))),
+				}
+				row++
+				for _, j := range bs.topK(logp, width) {
+					toks := bs.claim(ist.pool, slot, b.tokens)
+					slot++
+					next = append(next, beam{
+						tokens:  append(toks, j),
+						logProb: b.logProb + logp[j],
+						state:   s,
+						done:    j == eos,
+					})
+				}
+			}
+			sort.SliceStable(next, func(i, j int) bool {
+				return score(next[i]) > score(next[j])
+			})
+			if len(next) > width {
+				next = next[:width]
+			}
+			ist.beams, ist.next = next, ist.beams
+			ist.pool = 1 - ist.pool
+			allDone := true
+			for _, b := range ist.beams {
+				if !b.done {
+					allDone = false
+					break
+				}
+			}
+			if allDone {
+				finalize(q)
+			}
+		}
+	}
+	for q := range insts {
+		if insts[q].live {
+			finalize(q)
+		}
+	}
+	return results
+}

@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"webbrief/internal/ag"
+	"webbrief/internal/tensor"
+)
+
+// ForwardBatch runs the Bi-LSTM over a ragged batch of sequences in
+// lockstep, fusing each timestep's per-sequence 1-row recurrences into one
+// B-row Step so the gate matmuls amortize panel packing and cache traffic
+// across the batch. It returns one seq_i×2h node per input, each bitwise
+// identical (up to the sign of zero, see tensor/kernels.go) to what Forward
+// would produce for that sequence alone: every kernel in the Step chain
+// computes output rows independently, and the gather/scatter helpers only
+// move rows between the per-sequence matrices and the dense slab.
+//
+// Sequences of different lengths are handled by active-set compaction: step
+// t gathers rows only from sequences still inside their length (the forward
+// pass reads row t, the backward pass row len-1-t), so no padding rows are
+// ever computed or written. Inference-only — intermediate states are not
+// recorded for backprop beyond what the underlying tape records itself.
+func (b *BiLSTM) ForwardBatch(t *ag.Tape, xs []*ag.Node) []*ag.Node {
+	outs := make([]*tensor.Matrix, len(xs))
+	for i, x := range xs {
+		outs[i] = t.AllocValue(x.Rows(), b.Fwd.Hidden+b.Bwd.Hidden)
+	}
+	lstmLockstep(t, b.Fwd, xs, outs, 0, false)
+	lstmLockstep(t, b.Bwd, xs, outs, b.Fwd.Hidden, true)
+	nodes := make([]*ag.Node, len(xs))
+	for i, m := range outs {
+		nodes[i] = t.Const(m)
+	}
+	return nodes
+}
+
+// lstmLockstep advances l over all sequences at once, writing each hidden
+// state into columns [colOff, colOff+h) of the owning sequence's output
+// matrix. reverse selects the backward direction (input row len-1-t at step
+// t, as in BiLSTM.Forward's second loop).
+func lstmLockstep(t *ag.Tape, l *LSTM, xs []*ag.Node, outs []*tensor.Matrix, colOff int, reverse bool) {
+	n := len(xs)
+	if n == 0 {
+		return
+	}
+	h := l.Hidden
+	in, maxLen := xs[0].Cols(), 0
+	for _, x := range xs {
+		if x.Rows() > maxLen {
+			maxLen = x.Rows()
+		}
+	}
+	// Per-sequence running states, zero-initialised like ZeroState; each
+	// step gathers the active ones into a slab and scatters the results
+	// back, so a sequence's state never mixes with its neighbours'.
+	hs := make([]*tensor.Matrix, n)
+	cs := make([]*tensor.Matrix, n)
+	for i := range xs {
+		hs[i] = t.AllocValue(1, h)
+		cs[i] = t.AllocValue(1, h)
+	}
+	var (
+		active = make([]int, 0, n)
+		mats   = make([]*tensor.Matrix, 0, n)
+		rows   = make([]int, 0, n)
+		zeros  = make([]int, n)
+	)
+	for step := 0; step < maxLen; step++ {
+		active = active[:0]
+		for i, x := range xs {
+			if step < x.Rows() {
+				active = append(active, i)
+			}
+		}
+		a := len(active)
+		// Gather this step's input row from every active sequence.
+		x := t.AllocValue(a, in)
+		mats, rows = mats[:0], rows[:0]
+		for _, i := range active {
+			pos := step
+			if reverse {
+				pos = xs[i].Rows() - 1 - step
+			}
+			mats = append(mats, xs[i].Value)
+			rows = append(rows, pos)
+		}
+		tensor.GatherRowsInto(x, mats, rows)
+		// Gather the active running states into a-row slabs.
+		hp := t.AllocValue(a, h)
+		cp := t.AllocValue(a, h)
+		mats = mats[:0]
+		for _, i := range active {
+			mats = append(mats, hs[i])
+		}
+		tensor.GatherRowsInto(hp, mats, zeros[:a])
+		mats = mats[:0]
+		for _, i := range active {
+			mats = append(mats, cs[i])
+		}
+		tensor.GatherRowsInto(cp, mats, zeros[:a])
+		// One fused a-row step for all active sequences.
+		st := l.Step(t, t.Const(x), State{H: t.Const(hp), C: t.Const(cp)})
+		// Scatter the new states back and the hidden rows into the outputs.
+		mats = mats[:0]
+		for _, i := range active {
+			mats = append(mats, hs[i])
+		}
+		tensor.ScatterRowsInto(mats, zeros[:a], st.H.Value)
+		mats = mats[:0]
+		for _, i := range active {
+			mats = append(mats, cs[i])
+		}
+		tensor.ScatterRowsInto(mats, zeros[:a], st.C.Value)
+		mats, rows = mats[:0], rows[:0]
+		for _, i := range active {
+			pos := step
+			if reverse {
+				pos = xs[i].Rows() - 1 - step
+			}
+			mats = append(mats, outs[i])
+			rows = append(rows, pos)
+		}
+		tensor.ScatterRowSpansInto(mats, rows, colOff, st.H.Value)
+	}
+}

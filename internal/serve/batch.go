@@ -1,0 +1,361 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"webbrief/internal/wb"
+)
+
+// This file is the cross-request micro-batch scheduler: the batching stage
+// that sits between admission and the replica pool when Config.BatchWindow
+// is set. Requests admitted concurrently coalesce into one batch of up to
+// BatchMax; the batch briefs in fused B-row forward passes on a single
+// replica checkout (see BatchReplica), so concurrent load turns into wider
+// matmuls instead of replica contention. The window is bounded and
+// deadline-aware: a batch fires as soon as it is full, its window elapses,
+// or waiting longer would expire a member's context.
+//
+// Ownership is linear, so no item field needs a lock: the handler builds a
+// batchItem and only ever touches ctx and result afterwards; the dispatcher
+// owns it between the batchCh send and launch; exactly one executor
+// goroutine owns it from launch until deliver. Each handoff is through a
+// channel, which orders the accesses.
+
+// batchItem is one admitted request waiting in (or running through) the
+// micro-batch scheduler.
+type batchItem struct {
+	ctx      context.Context
+	body     []byte
+	enqueued time.Time
+
+	// Executor-owned bookkeeping.
+	queueWait time.Duration // enqueue → first replica checkout
+	waitSet   bool
+	answered  bool
+
+	result chan batchResult // capacity 1; at most one send, guarded by answered
+}
+
+// batchResult carries the request's pipeline outcome back to its handler.
+type batchResult struct {
+	o         pipelineOutcome
+	queueWait time.Duration
+}
+
+// deliver sends the outcome to the waiting handler, at most once. Only the
+// item's executor goroutine calls it, so the answered guard needs no lock;
+// the result channel's capacity means the send never blocks even if the
+// handler already gave up on its context.
+func (it *batchItem) deliver(o pipelineOutcome) {
+	if it.answered {
+		return
+	}
+	it.answered = true
+	it.result <- batchResult{o: o, queueWait: it.queueWait}
+}
+
+// briefBatched is handleBrief's tail when batching is on: enqueue the
+// request for the dispatcher and wait for its outcome or the context. The
+// batchCh buffer is the admission queue (same depth as the serial path's
+// queueSlots); a full channel sheds with 429 exactly like a full queue.
+func (s *Server) briefBatched(w http.ResponseWriter, lg *accessEntry, ctx context.Context, body []byte) {
+	m := s.metrics
+	it := &batchItem{
+		ctx:      ctx,
+		body:     body,
+		enqueued: time.Now(),
+		result:   make(chan batchResult, 1),
+	}
+	// Admission: take a slot or shed. Slots are held until the response, so
+	// the scheduler can never accumulate more outstanding requests than the
+	// serial path's queued + in-flight ceiling.
+	select {
+	case s.batchSlots <- struct{}{}:
+	default:
+		m.Overload.Add(1)
+		lg.Status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		http.Error(w, "briefing queue is full, retry later", http.StatusTooManyRequests)
+		return
+	}
+	defer func() { <-s.batchSlots }()
+	m.Queued.Add(1)
+	defer m.Queued.Add(-1)
+	// Re-check readiness after the Queued increment: if this handler saw
+	// ready=true here, BeginShutdown had not yet run, so the drain loop is
+	// guaranteed to observe this request in Queued and wait for it.
+	if !s.ready.Load() {
+		m.Draining.Add(1)
+		lg.Status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		http.Error(w, "server is draining", http.StatusServiceUnavailable)
+		return
+	}
+	// Cannot block: channel capacity equals the slot count.
+	s.batchCh <- it
+	select {
+	case res := <-it.result:
+		m.QueueWait.Observe(res.queueWait)
+		lg.QueueMS = roundMS(res.queueWait)
+		s.respondOutcome(w, lg, res.o)
+	case <-ctx.Done():
+		// The executor skips or ctxErr-delivers expired items; this
+		// request's slot in the batch cannot poison its batchmates.
+		s.failCtx(w, lg, ctx.Err())
+	}
+}
+
+// dispatchBatches is the scheduler goroutine: it groups enqueued requests
+// into batches and hands each to an executor. On shutdown it flushes the
+// queue without windowing and exits once every outstanding request is
+// answered.
+func (s *Server) dispatchBatches() {
+	defer close(s.batcherDone)
+	for {
+		select {
+		case it := <-s.batchCh:
+			s.collectAndLaunch(it)
+		case <-s.shutdownCh:
+			s.drainBatcher()
+			return
+		}
+	}
+}
+
+// collectAndLaunch grows a batch around its first member until it is full,
+// the batching window closes, or shutdown begins. The window anchors at the
+// first member's enqueue time and shrinks to the earliest member context
+// deadline, so no request expires merely waiting for batchmates.
+func (s *Server) collectAndLaunch(first *batchItem) {
+	batch := append(make([]*batchItem, 0, s.cfg.BatchMax), first)
+	fireAt := first.enqueued.Add(s.cfg.BatchWindow)
+	if dl, ok := first.ctx.Deadline(); ok && dl.Before(fireAt) {
+		fireAt = dl
+	}
+	timer := time.NewTimer(time.Until(fireAt))
+	defer func() { timer.Stop() }()
+collect:
+	for len(batch) < s.cfg.BatchMax {
+		select {
+		case it := <-s.batchCh:
+			batch = append(batch, it)
+			if dl, ok := it.ctx.Deadline(); ok && dl.Before(fireAt) {
+				fireAt = dl
+				// Replace rather than Reset: Reset on a possibly-fired
+				// timer requires draining its channel, racing the select.
+				timer.Stop()
+				timer = time.NewTimer(time.Until(fireAt))
+			}
+		case <-timer.C:
+			break collect
+		case <-s.shutdownCh:
+			break collect
+		}
+	}
+	s.launch(batch)
+}
+
+// launch records the batch-formation metrics and starts the executor.
+func (s *Server) launch(batch []*batchItem) {
+	m := s.metrics
+	m.BatchesTotal.Add(1)
+	m.BatchSize.Observe(len(batch))
+	if len(batch) > 1 {
+		m.CoalescedRequests.Add(int64(len(batch)))
+	}
+	now := time.Now()
+	for _, it := range batch {
+		m.BatchWait.Observe(now.Sub(it.enqueued))
+	}
+	s.batchWG.Add(1)
+	go s.executeBatch(batch)
+}
+
+// drainBatcher runs after shutdown begins: flush whatever is already queued
+// (no window — latency no longer buys batchmates), then wait until every
+// enqueued request has left Queued and every executor has finished.
+func (s *Server) drainBatcher() {
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case it := <-s.batchCh:
+			batch := append(make([]*batchItem, 0, s.cfg.BatchMax), it)
+		fill:
+			for len(batch) < s.cfg.BatchMax {
+				select {
+				case more := <-s.batchCh:
+					batch = append(batch, more)
+				default:
+					break fill
+				}
+			}
+			s.launch(batch)
+		case <-tick.C:
+			if s.metrics.Queued.Load() == 0 {
+				s.batchWG.Wait()
+				return
+			}
+		}
+	}
+}
+
+// executeBatch runs one batch through the pipeline, retrying unanswered
+// members on a fresh replica when one faults — the batched analogue of
+// handleBrief's retry loop, with the same per-request retry budget.
+func (s *Server) executeBatch(items []*batchItem) {
+	defer s.batchWG.Done()
+	m := s.metrics
+	pending := items
+	attempt := 0
+	for {
+		var live []*batchItem
+		for _, it := range pending {
+			if it.ctx.Err() == nil {
+				live = append(live, it)
+			}
+			// Expired items get no result; their handlers answer from
+			// ctx.Done, matching the serial path's queue-expiry 504.
+		}
+		if len(live) == 0 {
+			return
+		}
+		rep, err := s.pool.Get(live[0].ctx)
+		if err != nil {
+			// The lead item's context died waiting for a replica; drop it
+			// and keep trying for the rest.
+			pending = live[1:]
+			continue
+		}
+		now := time.Now()
+		for _, it := range live {
+			if !it.waitSet {
+				it.queueWait, it.waitSet = now.Sub(it.enqueued), true
+			}
+		}
+		m.InFlight.Add(int64(len(live)))
+		ok := s.runBatchOn(rep, live)
+		m.InFlight.Add(-int64(len(live)))
+		if ok {
+			return
+		}
+		// The replica faulted mid-batch and is already ejected (runStage);
+		// members answered before the fault keep their responses.
+		var rem []*batchItem
+		for _, it := range live {
+			if !it.answered {
+				rem = append(rem, it)
+			}
+		}
+		if len(rem) == 0 {
+			return
+		}
+		if attempt >= s.cfg.ReplicaRetries {
+			for _, it := range rem {
+				it.deliver(pipelineOutcome{faulted: true})
+			}
+			return
+		}
+		attempt++
+		m.Retries.Add(int64(len(rem)))
+		pending = rem
+	}
+}
+
+// runBatchOn briefs a batch on one replica: parse each member, then one
+// batched encode and one batched decode when the replica supports it (per
+// member otherwise, e.g. under a fault-injection wrapper or for a batch of
+// one, where the per-request path is already exact). Stage latencies are
+// observed once per member — each request did wait the whole stage — so
+// per-request latency semantics match the serial path; stage sums are
+// wall-clock waits, not CPU time. Reports false when the replica faulted
+// (it is already ejected and must not be Put back).
+func (s *Server) runBatchOn(rep Replica, items []*batchItem) bool {
+	m := s.metrics
+
+	insts := make([]*wb.Instance, len(items))
+	perrs := make([]error, len(items))
+	t0 := time.Now()
+	if !s.runStage(rep, func() {
+		for i, it := range items {
+			insts[i], perrs[i] = rep.Parse(string(it.body))
+		}
+	}) {
+		return false
+	}
+	parseDur := time.Since(t0)
+
+	// Settle every member's fate after parse: unparseable pages answer 422,
+	// members whose deadline expired during the window answer their ctx
+	// error, and the rest go on to the fused forward.
+	var liveItems []*batchItem
+	var liveInsts []*wb.Instance
+	for i, it := range items {
+		m.Parse.Observe(parseDur)
+		if perrs[i] != nil {
+			it.deliver(pipelineOutcome{unbriefable: perrs[i]})
+			continue
+		}
+		if err := it.ctx.Err(); err != nil {
+			it.deliver(pipelineOutcome{ctxErr: err})
+			continue
+		}
+		liveItems = append(liveItems, it)
+		liveInsts = append(liveInsts, insts[i])
+	}
+	if len(liveItems) == 0 {
+		s.pool.Put(rep)
+		return true
+	}
+
+	br, batched := rep.(BatchReplica)
+	batched = batched && len(liveItems) > 1
+	briefs := make([]*wb.Brief, len(liveItems))
+	t1 := time.Now()
+	var ok bool
+	if batched {
+		ok = s.runStage(rep, func() { briefs = br.EncodeBatch(liveInsts) })
+	} else {
+		ok = s.runStage(rep, func() {
+			for i, inst := range liveInsts {
+				briefs[i] = rep.Encode(inst)
+			}
+		})
+	}
+	if !ok {
+		return false
+	}
+	encodeDur := time.Since(t1)
+
+	// No member drops between encode and decode: EncodeBatch retained
+	// per-instance state aligned to liveInsts that DecodeBatch consumes.
+	// Deadlines are re-checked per member after decode instead.
+	t2 := time.Now()
+	if batched {
+		ok = s.runStage(rep, func() { br.DecodeBatch(liveInsts, briefs) })
+	} else {
+		ok = s.runStage(rep, func() {
+			for i, inst := range liveInsts {
+				rep.Decode(inst, briefs[i])
+			}
+		})
+	}
+	if !ok {
+		return false
+	}
+	decodeDur := time.Since(t2)
+
+	for i, it := range liveItems {
+		m.Encode.Observe(encodeDur)
+		m.Decode.Observe(decodeDur)
+		if err := it.ctx.Err(); err != nil {
+			it.deliver(pipelineOutcome{ctxErr: err})
+			continue
+		}
+		it.deliver(pipelineOutcome{brief: briefs[i]})
+	}
+	s.pool.Put(rep)
+	return true
+}

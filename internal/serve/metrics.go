@@ -54,6 +54,103 @@ type histogramSnapshot struct {
 	SumMS     float64   `json:"sum_ms"`
 }
 
+// batchWaitBucketsNS are the batch-wait histogram bucket upper bounds, in
+// nanoseconds: 50µs–100ms. Batch waits sit well below request latencies (the
+// window is typically a fraction of one briefing), so they get their own
+// finer scale.
+var batchWaitBucketsNS = []int64{
+	50_000, 100_000, 200_000, 500_000,
+	1_000_000, 2_000_000, 5_000_000, 10_000_000,
+	20_000_000, 50_000_000, 100_000_000,
+}
+
+// nsHistogram is a fixed-bucket nanosecond histogram (batch waits), same
+// lock-free observation discipline as histogram.
+type nsHistogram struct {
+	counts [12]atomic.Int64 // len(batchWaitBucketsNS) + overflow
+	count  atomic.Int64
+	sumNS  atomic.Int64
+}
+
+// Observe records one duration.
+func (h *nsHistogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	i := 0
+	for i < len(batchWaitBucketsNS) && ns > batchWaitBucketsNS[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+}
+
+// snapshot renders the histogram for /metrics.
+func (h *nsHistogram) snapshot() nsHistogramSnapshot {
+	s := nsHistogramSnapshot{
+		BucketsNS: batchWaitBucketsNS,
+		Counts:    make([]int64, len(h.counts)),
+		Count:     h.count.Load(),
+		SumNS:     h.sumNS.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// nsHistogramSnapshot is the JSON form of one nanosecond histogram.
+type nsHistogramSnapshot struct {
+	BucketsNS []int64 `json:"buckets_ns"`
+	Counts    []int64 `json:"counts"`
+	Count     int64   `json:"count"`
+	SumNS     int64   `json:"sum_ns"`
+}
+
+// batchSizeBuckets are the batch-size histogram bucket upper bounds
+// (requests per formed batch); the trailing slot catches larger batches.
+var batchSizeBuckets = []int64{1, 2, 3, 4, 6, 8, 12, 16}
+
+// sizeHistogram is a fixed-bucket histogram over small integer sizes.
+type sizeHistogram struct {
+	counts [9]atomic.Int64 // len(batchSizeBuckets) + overflow
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// Observe records one batch size.
+func (h *sizeHistogram) Observe(n int) {
+	v := int64(n)
+	i := 0
+	for i < len(batchSizeBuckets) && v > batchSizeBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// snapshot renders the histogram for /metrics.
+func (h *sizeHistogram) snapshot() sizeHistogramSnapshot {
+	s := sizeHistogramSnapshot{
+		Buckets: batchSizeBuckets,
+		Counts:  make([]int64, len(h.counts)),
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// sizeHistogramSnapshot is the JSON form of one size histogram.
+type sizeHistogramSnapshot struct {
+	Buckets []int64 `json:"buckets"`
+	Counts  []int64 `json:"counts"`
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+}
+
 // Metrics aggregates the serving counters exported at /metrics. All fields
 // are atomics: the hot path never takes a lock to record.
 type Metrics struct {
@@ -88,6 +185,15 @@ type Metrics struct {
 	Encode    histogram // eval forward → attributes + sections
 	Decode    histogram // beam-search topic generation
 	Total     histogram // handler entry → response written
+
+	// Batching counters, populated only when Config.BatchWindow > 0. They
+	// partition batches, not requests: the requests_total outcome partition
+	// above stays exact because every batched request still ends in exactly
+	// one per-request outcome.
+	BatchesTotal      atomic.Int64 // micro-batches dispatched (batches_total)
+	CoalescedRequests atomic.Int64 // requests served in batches of size ≥ 2
+	BatchSize         sizeHistogram // requests per dispatched batch
+	BatchWait         nsHistogram   // enqueue → batch dispatch, per request
 }
 
 // metricsSnapshot is the JSON document served at /metrics. Struct (not
@@ -130,10 +236,18 @@ type metricsSnapshot struct {
 		Decode    histogramSnapshot `json:"decode"`
 		Total     histogramSnapshot `json:"total"`
 	} `json:"latency_ms"`
+	Batching struct {
+		Enabled                bool                  `json:"enabled"`
+		BatchesTotal           int64                 `json:"batches_total"`
+		CoalescedRequestsTotal int64                 `json:"coalesced_requests_total"`
+		BatchSize              sizeHistogramSnapshot `json:"batch_size"`
+		BatchWaitNS            nsHistogramSnapshot   `json:"batch_wait_ns"`
+	} `json:"batching"`
 }
 
-// snapshot collects a point-in-time view of every counter.
-func (m *Metrics) snapshot(pool *Pool) metricsSnapshot {
+// snapshot collects a point-in-time view of every counter. batching flags
+// whether the server dispatches through the micro-batch scheduler.
+func (m *Metrics) snapshot(pool *Pool, batching bool) metricsSnapshot {
 	var s metricsSnapshot
 	s.RequestsTotal = m.Requests.Load()
 	s.Responses.OK = m.OK.Load()
@@ -165,5 +279,10 @@ func (m *Metrics) snapshot(pool *Pool) metricsSnapshot {
 	s.LatencyMS.Encode = m.Encode.snapshot()
 	s.LatencyMS.Decode = m.Decode.snapshot()
 	s.LatencyMS.Total = m.Total.snapshot()
+	s.Batching.Enabled = batching
+	s.Batching.BatchesTotal = m.BatchesTotal.Load()
+	s.Batching.CoalescedRequestsTotal = m.CoalescedRequests.Load()
+	s.Batching.BatchSize = m.BatchSize.snapshot()
+	s.Batching.BatchWaitNS = m.BatchWait.snapshot()
 	return s
 }

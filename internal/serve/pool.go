@@ -4,11 +4,38 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 
 	"webbrief/internal/textproc"
 	"webbrief/internal/wb"
 )
+
+// WarmupHTML builds a synthetic page with roughly n visible tokens (0 = 512)
+// — a max-shape stand-in for Warm so every first-use buffer growth (arena
+// blocks, pack panels, beam pools) happens before real traffic.
+func WarmupHTML(n int) string {
+	if n <= 0 {
+		n = 512
+	}
+	words := []string{
+		"alpha", "baseline", "briefing", "capacity", "decode", "encode",
+		"forward", "kernel", "latency", "micro", "replica", "scratch",
+		"tensor", "throughput", "vector", "window",
+	}
+	var b strings.Builder
+	b.WriteString("<html><head><title>warmup page shape</title></head><body><h1>Warmup briefing page</h1>")
+	for i := 0; i < n; i += 8 {
+		b.WriteString("<p>")
+		for j := 0; j < 8; j++ {
+			b.WriteString(words[(i+j)%len(words)])
+			b.WriteByte(' ')
+		}
+		b.WriteString("</p>")
+	}
+	b.WriteString("</body></html>")
+	return b.String()
+}
 
 // Replica is one independently-forwardable briefing engine, checked out of
 // a Pool for the duration of a request. The three methods are the stages of
@@ -24,6 +51,19 @@ type Replica interface {
 	Decode(inst *wb.Instance, b *wb.Brief)
 }
 
+// BatchReplica is the optional batched capability of a Replica: encode and
+// decode a whole micro-batch in fused B-row forward passes. EncodeBatch
+// retains per-instance state on the replica that the matching DecodeBatch
+// call consumes, so the two must be called back to back with the same
+// instances, under the same exclusive checkout. The batch executor falls
+// back to the per-request methods when a replica (e.g. a fault-injection
+// wrapper) does not implement this.
+type BatchReplica interface {
+	Replica
+	EncodeBatch(insts []*wb.Instance) []*wb.Brief
+	DecodeBatch(insts []*wb.Instance, briefs []*wb.Brief)
+}
+
 // modelReplica adapts one Joint-WB model (the original or a
 // wb.CloneForServing copy) to the Replica interface. The vocabulary is
 // shared across all replicas: it is read-only after construction. Each
@@ -36,6 +76,8 @@ type modelReplica struct {
 	beam      int
 	maxTokens int
 	scratch   *wb.InferScratch
+	batch     *wb.BatchScratch
+	outs      []*wb.Output // encode-stage outputs awaiting DecodeBatch
 }
 
 // Parse implements Replica.
@@ -55,6 +97,22 @@ func (r *modelReplica) Encode(inst *wb.Instance) *wb.Brief {
 // Decode implements Replica.
 func (r *modelReplica) Decode(inst *wb.Instance, b *wb.Brief) {
 	b.Topic = wb.DecodeTopicWith(r.model, inst, r.vocab, r.beam, r.scratch)
+}
+
+// EncodeBatch implements BatchReplica: one fused Eval forward for the whole
+// micro-batch. The forward outputs stay live on the batch tape for the
+// DecodeBatch call that must follow.
+func (r *modelReplica) EncodeBatch(insts []*wb.Instance) []*wb.Brief {
+	briefs, outs := wb.ExtractBriefBatch(r.model, insts, r.vocab, r.batch)
+	r.outs = outs
+	return briefs
+}
+
+// DecodeBatch implements BatchReplica: one batched beam search over the
+// encode outputs EncodeBatch retained.
+func (r *modelReplica) DecodeBatch(insts []*wb.Instance, briefs []*wb.Brief) {
+	wb.DecodeTopicBatch(r.model, insts, r.outs, r.vocab, r.beam, r.batch, briefs)
+	r.outs = nil
 }
 
 // BreakerState is the health state of one replica, circuit-breaker style.
@@ -111,6 +169,7 @@ func NewPool(m *wb.JointWB, v *textproc.Vocab, n, beam, maxTokens int) (*Pool, e
 	replicas[0] = &modelReplica{
 		model: m, vocab: v, beam: beam, maxTokens: maxTokens,
 		scratch: wb.NewInferScratchFor(v, beam),
+		batch:   wb.NewBatchScratchFor(v, beam, 0),
 	}
 	for i := 1; i < n; i++ {
 		c, err := wb.CloneForServing(m, v)
@@ -120,6 +179,7 @@ func NewPool(m *wb.JointWB, v *textproc.Vocab, n, beam, maxTokens int) (*Pool, e
 		replicas[i] = &modelReplica{
 			model: c, vocab: v, beam: beam, maxTokens: maxTokens,
 			scratch: wb.NewInferScratchFor(v, beam),
+			batch:   wb.NewBatchScratchFor(v, beam, 0),
 		}
 	}
 	return PoolOf(replicas...), nil
@@ -141,12 +201,46 @@ func PoolOf(replicas ...Replica) *Pool {
 	return p
 }
 
-// Warm briefs html once on every replica so each scratch workspace grows
-// its arena, pack and beam buffers before real traffic arrives; the first
-// request per replica then runs the same allocation-free path as every
-// later one. Call it before serving starts: it requires a fully idle pool
-// and checks all replicas out while it runs.
+// Warm briefs html twice on every replica so each scratch workspace grows
+// its arena, pack and beam buffers to steady state before real traffic
+// arrives; the first request per replica then runs the same allocation-free
+// path as every later one. Two passes because first-use growth (arena
+// blocks, pack panels, beam pools) happens during the first brief — the
+// second proves the workspace has stopped growing for this page shape. Warm
+// with a max-shape page (see WarmupHTML) so one-time growth never shows up
+// in per-request numbers. Call it before serving starts: it requires a
+// fully idle pool and checks all replicas out while it runs.
 func (p *Pool) Warm(html string) error {
+	return p.warmAll(html, func(r Replica, inst *wb.Instance) {
+		r.Decode(inst, r.Encode(inst))
+		r.Decode(inst, r.Encode(inst))
+	})
+}
+
+// WarmBatch pre-grows each replica's batched workspace by briefing size
+// copies of html as one micro-batch, twice, on every replica that supports
+// batching (others are skipped). Same idle-pool contract as Warm.
+func (p *Pool) WarmBatch(html string, size int) error {
+	if size < 1 {
+		size = 1
+	}
+	return p.warmAll(html, func(r Replica, inst *wb.Instance) {
+		br, ok := r.(BatchReplica)
+		if !ok {
+			return
+		}
+		insts := make([]*wb.Instance, size)
+		for i := range insts {
+			insts[i] = inst
+		}
+		br.DecodeBatch(insts, br.EncodeBatch(insts))
+		br.DecodeBatch(insts, br.EncodeBatch(insts))
+	})
+}
+
+// warmAll checks every replica out of an idle pool, parses html on it and
+// runs fn, returning all replicas afterwards.
+func (p *Pool) warmAll(html string, fn func(Replica, *wb.Instance)) error {
 	if p.Idle() != p.size {
 		return fmt.Errorf("serve: Warm needs an idle pool (%d of %d idle)", p.Idle(), p.size)
 	}
@@ -166,7 +260,7 @@ func (p *Pool) Warm(html string) error {
 		if err != nil {
 			return fmt.Errorf("serve: warmup page: %w", err)
 		}
-		r.Decode(inst, r.Encode(inst))
+		fn(r, inst)
 	}
 	return nil
 }

@@ -63,6 +63,16 @@ type Config struct {
 	ProbeInterval  time.Duration
 	ProbeSuccesses int
 	ProbeHTML      string
+
+	// BatchWindow enables cross-request micro-batching: an admitted request
+	// waits up to this long for batchmates before the fused forward runs,
+	// trading that bounded latency for B-row batched kernels. 0 disables
+	// batching — the exact per-request path. The window is deadline-aware: a
+	// batch fires early when any member's context deadline would otherwise
+	// expire waiting.
+	BatchWindow time.Duration
+	// BatchMax caps how many requests one micro-batch may coalesce (0 = 8).
+	BatchMax int
 }
 
 // withDefaults resolves zero values.
@@ -97,6 +107,12 @@ func (c Config) withDefaults() Config {
 	if c.ProbeHTML == "" {
 		c.ProbeHTML = DefaultProbeHTML
 	}
+	if c.BatchMax == 0 {
+		c.BatchMax = 8
+	}
+	if c.BatchMax < 1 {
+		c.BatchMax = 1
+	}
 	return c
 }
 
@@ -119,6 +135,18 @@ type Server struct {
 	// it so ejected replicas stay ejected through a drain.
 	shutdownCh   chan struct{}
 	shutdownOnce sync.Once
+
+	// Micro-batch scheduler state, nil/unused unless cfg.BatchWindow > 0:
+	// admitted requests take a batchSlots token (held until their response,
+	// bounding outstanding requests at QueueDepth + pool size — the serial
+	// path's queued + in-flight ceiling) and enqueue on batchCh; the
+	// dispatcher goroutine groups them into batches and batchWG tracks the
+	// per-batch executors. batcherDone closes when the dispatcher has
+	// drained and exited.
+	batchCh     chan *batchItem
+	batchSlots  chan struct{}
+	batchWG     sync.WaitGroup
+	batcherDone chan struct{}
 
 	logMu sync.Mutex // serialises access-log lines
 }
@@ -150,6 +178,14 @@ func NewFromPool(pool *Pool, cfg Config) *Server {
 	s.mux.HandleFunc("/brief", s.handleBrief)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.BatchWindow > 0 {
+		// Channel capacity matches the slot count, so a request holding a
+		// slot can always enqueue without blocking.
+		s.batchCh = make(chan *batchItem, cfg.QueueDepth+pool.Size())
+		s.batchSlots = make(chan struct{}, cfg.QueueDepth+pool.Size())
+		s.batcherDone = make(chan struct{})
+		go s.dispatchBatches()
+	}
 	return s
 }
 
@@ -186,7 +222,7 @@ func (s *Server) Drain(ctx context.Context) int64 {
 	defer tick.Stop()
 	for {
 		n := s.metrics.InFlight.Load() + s.metrics.Queued.Load()
-		if n == 0 {
+		if n == 0 && s.batcherIdle() {
 			return 0
 		}
 		select {
@@ -195,6 +231,37 @@ func (s *Server) Drain(ctx context.Context) int64 {
 		case <-tick.C:
 		}
 	}
+}
+
+// batcherIdle reports whether the micro-batch dispatcher has fully drained
+// and exited (trivially true when batching is off).
+func (s *Server) batcherIdle() bool {
+	if s.batcherDone == nil {
+		return true
+	}
+	select {
+	case <-s.batcherDone:
+		return true
+	default:
+		return false
+	}
+}
+
+// Warm pre-grows every replica workspace to steady state before traffic
+// arrives — and, when batching is on, each batched workspace at BatchMax
+// width — so the first real request already runs the allocation-free path.
+// An empty html warms on the default synthetic page.
+func (s *Server) Warm(html string) error {
+	if html == "" {
+		html = WarmupHTML(0)
+	}
+	if err := s.pool.Warm(html); err != nil {
+		return err
+	}
+	if s.batchCh != nil {
+		return s.pool.WarmBatch(html, s.cfg.BatchMax)
+	}
+	return nil
 }
 
 // handleBrief is the serving hot path: admission, replica checkout, the
@@ -256,6 +323,11 @@ func (s *Server) handleBrief(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	if s.batchCh != nil {
+		s.briefBatched(w, &lg, ctx, body)
+		return
+	}
+
 	// Admission: take a replica if one is idle; otherwise wait in a
 	// bounded queue or shed with 429.
 	queueStart := time.Now()
@@ -298,11 +370,7 @@ func (s *Server) handleBrief(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		if attempt >= s.cfg.ReplicaRetries {
-			m.ReplicaFailure.Add(1)
-			lg.Status = http.StatusInternalServerError
-			http.Error(w, "briefing replica failed and the retry budget is spent",
-				http.StatusInternalServerError)
-			return
+			break
 		}
 		m.Retries.Add(1)
 		rep, err = s.pool.Get(ctx)
@@ -311,7 +379,22 @@ func (s *Server) handleBrief(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.respondOutcome(w, &lg, o)
+}
 
+// respondOutcome maps a pipeline outcome onto its HTTP response and outcome
+// counter — the shared tail of the per-request and batched paths, keeping
+// the requests_total partition identical in both modes. faulted here means
+// the retry budget is already spent.
+func (s *Server) respondOutcome(w http.ResponseWriter, lg *accessEntry, o pipelineOutcome) {
+	m := s.metrics
+	if o.faulted {
+		m.ReplicaFailure.Add(1)
+		lg.Status = http.StatusInternalServerError
+		http.Error(w, "briefing replica failed and the retry budget is spent",
+			http.StatusInternalServerError)
+		return
+	}
 	if o.unbriefable != nil {
 		m.Unbriefable.Add(1)
 		lg.Status = http.StatusUnprocessableEntity
@@ -319,7 +402,7 @@ func (s *Server) handleBrief(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if o.ctxErr != nil {
-		s.failCtx(w, &lg, o.ctxErr)
+		s.failCtx(w, lg, o.ctxErr)
 		return
 	}
 
@@ -395,7 +478,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(s.metrics.snapshot(s.pool))
+	enc.Encode(s.metrics.snapshot(s.pool, s.batchCh != nil))
 }
 
 // accessEntry is one structured access-log line. Struct field order is the

@@ -160,13 +160,46 @@ func (m *JointWB) Forward(t *ag.Tape, inst *Instance, mode Mode) *Output {
 		sent = t.Dropout(sent, m.Cfg.Dropout, m.rng)
 	}
 
-	// P: Markov-dependency section logits and soft probabilities.
+	// P: Markov-dependency section logits.
 	secLogits := m.Sec.Forward(t, sent)
-	secProbs := t.Sigmoid(secLogits)
 
 	// E and G base encoders.
 	cE := m.ExtLSTM.Forward(t, tok)  // l×2h
 	cG := m.GenLSTM.Forward(t, sent) // m×2h
+
+	return m.forwardTail(t, inst, mode, secLogits, cE, cG)
+}
+
+// ForwardBatchEval runs the Eval-mode forward for several instances on one
+// tape, fusing the two Bi-LSTM recurrences across the batch (the dominant
+// per-request serial cost) while everything whose shape is per-document —
+// encoding, section scoring, the decode passes and the dual-aware
+// attentions — runs per instance. Every op in both halves computes output
+// rows independently, so each returned Output holds values identical to a
+// lone Forward(t, inst, Eval) for that instance (up to the sign of zero,
+// which no downstream argmax/threshold/ordering can observe).
+func (m *JointWB) ForwardBatchEval(t *ag.Tape, insts []*Instance) []*Output {
+	toks := make([]*ag.Node, len(insts))
+	sents := make([]*ag.Node, len(insts))
+	secs := make([]*ag.Node, len(insts))
+	for i, inst := range insts {
+		toks[i], sents[i] = m.Enc.EncodeDoc(t, inst)
+		secs[i] = m.Sec.Forward(t, sents[i])
+	}
+	cEs := m.ExtLSTM.ForwardBatch(t, toks)
+	cGs := m.GenLSTM.ForwardBatch(t, sents)
+	outs := make([]*Output, len(insts))
+	for i, inst := range insts {
+		outs[i] = m.forwardTail(t, inst, Eval, secs[i], cEs[i], cGs[i])
+	}
+	return outs
+}
+
+// forwardTail is everything downstream of the base encoders: the first
+// decode pass, both dual-aware attentions and the output assembly. Shared
+// verbatim by the serial and batched forwards so they cannot drift.
+func (m *JointWB) forwardTail(t *ag.Tape, inst *Instance, mode Mode, secLogits, cE, cG *ag.Node) *Output {
+	secProbs := t.Sigmoid(secLogits)
 
 	// First decoding pass over plain C_G: topic states Q and Q^b.
 	mem1 := m.MemPr1.Forward(t, cG)

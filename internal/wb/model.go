@@ -49,6 +49,16 @@ type Model interface {
 	Forward(t *ag.Tape, inst *Instance, mode Mode) *Output
 }
 
+// BatchForwarder is implemented by models whose Eval-mode forward can run
+// over several instances at once with the recurrent encoders advanced in
+// lockstep (see JointWB.ForwardBatchEval). The serving layer batch-dispatches
+// through it when present; outs[i] must hold values identical to
+// Forward(t, insts[i], Eval).
+type BatchForwarder interface {
+	Model
+	ForwardBatchEval(t *ag.Tape, insts []*Instance) []*Output
+}
+
 // Loss sums the supervised losses for whichever heads out provides: BIO
 // cross-entropy for extraction, sequence cross-entropy for topic generation,
 // and binary cross-entropy for section prediction — the joint objective

@@ -65,8 +65,15 @@ func PutScratch(s *InferScratch) { scratchPool.Put(s) }
 // ExtractBriefWith is ExtractBrief running on the caller's workspace.
 func ExtractBriefWith(m Model, inst *Instance, v *textproc.Vocab, s *InferScratch) *Brief {
 	s.Tape.Reset()
-	b := &Brief{}
 	out := m.Forward(s.Tape, inst, Eval)
+	return extractiveBrief(out, inst, v)
+}
+
+// extractiveBrief assembles the extractive half of a briefing from a
+// forward-pass output: attribute spans from the BIO tags plus the section
+// flags. Shared by the per-request and batched extract paths.
+func extractiveBrief(out *Output, inst *Instance, v *textproc.Vocab) *Brief {
+	b := &Brief{}
 	if tags := PredictTags(out); tags != nil {
 		for _, sp := range eval.SpansFromBIO(tags) {
 			var words []string

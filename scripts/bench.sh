@@ -22,8 +22,12 @@ OUT=bench-out
 mkdir -p "$OUT"
 
 echo "== serving path (full HTTP: parse, admission, 3-stage briefing, JSON)"
-go test -bench 'ServeBrief' -benchtime "$BENCHTIME" -run '^$' -benchmem -cpu 1 . \
+go test -bench 'ServeBrief$|ServeBriefSerialMutex' -benchtime "$BENCHTIME" -run '^$' -benchmem -cpu 1 . \
     | tee "$OUT/serve.txt"
+
+echo "== throughput vs concurrency (micro-batching off/on, clients 1/4/16)"
+go test -bench 'ServeBriefConcurrency' -benchtime "$BENCHTIME" -run '^$' -benchmem -cpu 1,2,4 . \
+    | tee "$OUT/concurrency.txt"
 
 echo "== warm scratch fast path (wb.MakeBriefWith, no HTTP)"
 go test -bench 'MakeBriefScratch' -benchtime "$BENCHTIME" -run '^$' -benchmem ./internal/wb \
@@ -60,5 +64,5 @@ cat > "$OUT/BENCH_${N}.skeleton.json" <<EOF
 EOF
 
 echo
-echo "raw output in $OUT/{serve,scratch,kernels}.txt"
+echo "raw output in $OUT/{serve,concurrency,scratch,kernels}.txt"
 echo "skeleton written to $OUT/BENCH_${N}.skeleton.json — fill before/after/summary and move to BENCH_${N}.json"

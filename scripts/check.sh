@@ -41,6 +41,13 @@ echo "== kernel equivalence (blocked kernels vs naive reference, exact equality)
 go test -run 'TestKernelEquivalence|TestBeamSearchScratchMatchesReference|TestScratchBriefMatchesHeapTape' \
     ./internal/tensor ./internal/nn ./internal/wb
 
+echo "== batched equivalence (fused B-row forward/beam vs per-request path, exact equality, ragged batches)"
+go test -race -run 'TestBiLSTMForwardBatchMatchesSerial|TestBeamSearchBatchMatchesScratch|TestBatchedWireEquivalence|TestBatchedDeadlineMidWindow' \
+    ./internal/nn ./internal/serve
+
+echo "== batched chaos gate (micro-batching on, one replica faulted, >=99% success)"
+go test -race -run 'TestChaosServeBatchedSoak' ./internal/serve
+
 echo "== wbserve smoke (train tiny bundle, boot, curl /brief + /metrics, drain)"
 SMOKEDIR=$(mktemp -d)
 SERVE_PID=""
@@ -61,6 +68,34 @@ kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
 echo "   wbserve smoke ok"
+
+echo "== wbserve batched smoke (same bundle, -batch-window on, concurrent curls coalesce)"
+"$SMOKEDIR/wbserve" -model "$SMOKEDIR/model.bin" -addr 127.0.0.1:18081 -replicas 2 -queue 8 \
+    -batch-window 5ms -batch-max 4 -quiet &
+SERVE_PID=$!
+for i in $(seq 1 50); do
+    curl -sf http://127.0.0.1:18081/healthz >/dev/null 2>&1 && break
+    sleep 0.2
+done
+PAGE='<html><body><h1>title : novel edition</h1><div>price : $ 9.99</div></body></html>'
+CURL_PIDS=""
+for i in 1 2 3 4; do
+    ( printf '%s' "$PAGE" | curl -sf --data-binary @- http://127.0.0.1:18081/brief | grep -q '"Topic"' ) &
+    CURL_PIDS="$CURL_PIDS $!"
+done
+for pid in $CURL_PIDS; do wait "$pid"; done
+curl -sf http://127.0.0.1:18081/metrics | python3 -c '
+import json,sys
+m = json.load(sys.stdin)
+assert m["requests_total"] == 4 == m["responses"]["ok"], m["responses"]
+b = m["batching"]
+assert b["enabled"] and b["batches_total"] >= 1, b
+assert b["batch_size"]["sum"] == 4, b
+'
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+echo "   wbserve batched smoke ok"
 
 if [[ "$FUZZTIME" != "0" ]]; then
     echo "== fuzz smoke (${FUZZTIME} per target)"
