@@ -1,22 +1,42 @@
-// Command wbcheck runs the repository's determinism and numeric-safety lint
-// suite over the given package patterns (default ./...). It is part of the
-// pre-merge gate (scripts/check.sh): a non-empty report exits 1.
+// Command wbcheck runs the repository's determinism, numeric-safety and
+// concurrency lint suite over the given package patterns (default ./...).
+// It is part of the pre-merge gate (scripts/check.sh): a non-empty report
+// exits 1.
 //
 //	go run ./cmd/wbcheck ./...
+//	go run ./cmd/wbcheck -json ./...   # machine-readable diagnostics
 //
 // Passes:
 //
-//	detmap    range over maps of *ag.Param / model state (random order)
-//	seedrand  global math/rand source, literal seeds, time.Now in hot paths
-//	floateq   == / != between floating-point operands
-//	tapelife  ag.GetTape without deferred ag.PutTape; Reset on pooled tapes
-//	shapedoc  exported tensor kernels missing the shape-check preamble
+//	detmap      range over maps of *ag.Param / model state (random order)
+//	seedrand    global math/rand source, literal seeds, time.Now in hot paths
+//	floateq     == / != between floating-point operands
+//	tapelife    ag.GetTape without deferred ag.PutTape; Reset on pooled tapes
+//	shapedoc    exported tensor kernels missing the shape-check preamble
+//	goshutdown  go statements not tied to a shutdown path (ctx/done select,
+//	            completion send, channel range, or WaitGroup.Done)
+//	lockhold    sync.Mutex/RWMutex held across a call that can block on
+//	            channels, network, or Wait (transitive, cross-package)
+//	poolbalance sync.Pool / Get-Put pair checkout without a Put on every
+//	            return path (defer it, hand it off, or Put before returning)
+//	metricpart  atomic outcome counters not registered in the requests_total
+//	            partition (requestOutcomeFields + Responses snapshot)
+//
+// The last four ride on a cross-package facts layer: the blockfacts
+// summarizer runs first over every package in dependency order and exports
+// which functions can block and which are shutdown-aware, so lockhold and
+// goshutdown reason about transitive behaviour ("MakeBrief fork-joins on a
+// WaitGroup three packages down") instead of single bodies. Packages are
+// analyzed in parallel; output is position-sorted and deterministic.
 //
 // A violation can be suppressed — with justification in review — by a
-// `//wbcheck:ignore [pass...]` comment on the same line or the line above.
+// `//wbcheck:ignore [pass...] [-- justification]` comment on the same
+// line, the line above, or the line above the multi-line statement that
+// contains it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +44,10 @@ import (
 	"webbrief/internal/analysis"
 	"webbrief/internal/analysis/detmap"
 	"webbrief/internal/analysis/floateq"
+	"webbrief/internal/analysis/goshutdown"
+	"webbrief/internal/analysis/lockhold"
+	"webbrief/internal/analysis/metricpart"
+	"webbrief/internal/analysis/poolbalance"
 	"webbrief/internal/analysis/seedrand"
 	"webbrief/internal/analysis/shapedoc"
 	"webbrief/internal/analysis/tapelife"
@@ -32,17 +56,31 @@ import (
 var passes = []*analysis.Analyzer{
 	detmap.Analyzer,
 	floateq.Analyzer,
+	goshutdown.Analyzer,
+	lockhold.Analyzer,
+	metricpart.Analyzer,
+	poolbalance.Analyzer,
 	seedrand.Analyzer,
 	shapedoc.Analyzer,
 	tapelife.Analyzer,
 }
 
+// jsonDiagnostic is the -json wire shape, one object per line.
+type jsonDiagnostic struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Pass string `json:"pass"`
+	Msg  string `json:"msg"`
+}
+
 func main() {
 	list := flag.Bool("passes", false, "list the registered passes and exit")
+	asJSON := flag.Bool("json", false, "emit diagnostics as JSON objects, one per line")
 	flag.Parse()
 	if *list {
 		for _, a := range passes {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -55,8 +93,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wbcheck:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			enc.Encode(jsonDiagnostic{
+				File: d.Pos.Filename,
+				Line: d.Pos.Line,
+				Col:  d.Pos.Column,
+				Pass: d.Pass,
+				Msg:  d.Msg,
+			})
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "wbcheck: %d violation(s)\n", len(diags))

@@ -130,6 +130,7 @@ func main() {
 	defer stop()
 
 	errc := make(chan error, 1)
+	//wbcheck:ignore goshutdown -- accept loop lives for the whole process; ListenAndServe returns when Shutdown below closes the listener, and the buffered errc send never leaks it
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("serving briefings on %s: %d replicas, queue %d, timeout %v (POST HTML to /brief; /healthz, /metrics)",
 		*addr, srv.Pool().Size(), *queue, *timeout)

@@ -12,6 +12,14 @@
 // (corpus), the core models (wb), distillation (distill), baselines
 // (baselines), metrics (eval) and the experiment drivers (experiments).
 //
+// The repository's contracts are machine-enforced by cmd/wbcheck, a
+// stdlib-only static-analysis suite built on internal/analysis: per-package
+// AST/type passes for determinism and numeric safety, plus a cross-package
+// facts layer (serialized per-package summaries read by dependents, in the
+// spirit of go/analysis facts) whose blockfacts call-graph summary of
+// blocking and shutdown behaviour powers the concurrency passes
+// (goshutdown, lockhold, poolbalance, metricpart).
+//
 // See README.md for a tour, DESIGN.md for the system inventory and the
 // paper-to-module mapping, and EXPERIMENTS.md for reproduced-vs-paper
 // results.

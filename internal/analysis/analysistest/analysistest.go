@@ -29,13 +29,22 @@ type expectation struct {
 // and requires an exact correspondence between reported diagnostics and
 // `// want` annotations: every diagnostic must land on an annotated line and
 // contain the annotated substring, and every annotation must be hit.
+// Analyzers named in a's Requires (fact producers such as blockfacts) run
+// first automatically, exactly as under the real driver.
 func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	RunAll(t, dir, a)
+}
+
+// RunAll is Run for several analyzers over one fixture — the shape the
+// directive tests need, where one `//wbcheck:ignore` names multiple passes.
+func RunAll(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
 	pkgs, err := analysis.Load([]string{dir})
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
-	diags := analysis.RunPackages(pkgs, []*analysis.Analyzer{a})
+	diags := analysis.RunPackages(pkgs, analyzers)
 	wants := collectWants(pkgs)
 
 	for _, d := range diags {

@@ -1,0 +1,399 @@
+// Package blockfacts computes the call-graph summaries the concurrency
+// passes consume. It reports nothing itself: for every function declared in
+// the package it decides, bottom-up, whether the function can block
+// (channel operations, select without default, network/process waits,
+// sync.WaitGroup/Cond Wait — transitively through calls) and whether it is
+// tied to a shutdown path (selects or receives on a done-ish channel or
+// ctx.Done(), signals completion on one, ranges over a channel, or defers
+// WaitGroup.Done — again transitively), then exports the answers as
+// analysis facts. Because the driver analyzes packages in dependency order,
+// a summary exported by internal/tensor is visible when internal/ag is
+// analyzed, and so on up the import graph: that is how "MakeBrief can block
+// on a WaitGroup three packages down" becomes a checkable statement in
+// lockhold and goshutdown.
+//
+// The summaries are deliberately conservative in both directions: indirect
+// calls through function values and interface methods are assumed
+// non-blocking (so lockhold stays quiet rather than noisy), and only a
+// fixed table of stdlib primitives seeds the blocking relation.
+package blockfacts
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"webbrief/internal/analysis"
+)
+
+// Blocks is the fact exported for a function whose body can block on
+// channels, network, process waits, or sync Wait primitives. Reason is a
+// human-readable chain such as "calls parallelRows (sync.WaitGroup.Wait)".
+type Blocks struct{ Reason string }
+
+// AFact marks Blocks as an analysis fact.
+func (*Blocks) AFact() {}
+
+// ShutdownAware is the fact exported for a function containing a shutdown
+// tie: a receive/select on a done-ish channel or ctx.Done(), a completion
+// send on one, a range over a channel, or a deferred WaitGroup.Done. Via
+// says which.
+type ShutdownAware struct{ Via string }
+
+// AFact marks ShutdownAware as an analysis fact.
+func (*ShutdownAware) AFact() {}
+
+// Analyzer computes and exports the summaries. It reports no diagnostics;
+// passes list it in Requires to read its facts.
+var Analyzer = &analysis.Analyzer{
+	Name: "blockfacts",
+	Doc:  "bottom-up blocking/shutdown call-graph summaries exported as facts (reports nothing itself)",
+	Run:  run,
+}
+
+// summary is the in-progress answer for one function; empty string = no.
+type summary struct {
+	block    string
+	shutdown string
+}
+
+func run(pass *analysis.Pass) {
+	// Collect every declared function body, in file order so the fixed
+	// point below is deterministic.
+	type decl struct {
+		fn   *types.Func
+		body *ast.BlockStmt
+	}
+	var decls []decl
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			decls = append(decls, decl{fn, fd.Body})
+		}
+	}
+
+	// Fixed point over intra-package calls: a function is blocking or
+	// shutdown-aware if its body says so directly, via an imported fact, or
+	// via the current summary of a same-package callee. Both properties
+	// only ever flip off->on, so this terminates.
+	local := map[*types.Func]summary{}
+	look := func(fn *types.Func) summary {
+		if s, ok := local[fn]; ok {
+			return s
+		}
+		return factSummary(pass, fn)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			s := scanBody(pass, d.body, look)
+			if cur := local[d.fn]; cur != s {
+				local[d.fn] = s
+				changed = true
+			}
+		}
+	}
+
+	for _, d := range decls {
+		s := local[d.fn]
+		if s.block != "" {
+			pass.ExportObjectFact(d.fn, &Blocks{Reason: s.block})
+		}
+		if s.shutdown != "" {
+			pass.ExportObjectFact(d.fn, &ShutdownAware{Via: s.shutdown})
+		}
+	}
+}
+
+// factSummary reads previously exported facts for fn — either from a
+// dependency package or from an earlier iteration over this one.
+func factSummary(pass *analysis.Pass, fn *types.Func) summary {
+	var s summary
+	var b Blocks
+	if pass.ImportObjectFact(fn, &b) {
+		s.block = b.Reason
+	}
+	var sd ShutdownAware
+	if pass.ImportObjectFact(fn, &sd) {
+		s.shutdown = sd.Via
+	}
+	return s
+}
+
+// CallBlocks reports whether call can block, with a reason: either the
+// callee is a known-blocking stdlib primitive or it carries a Blocks fact.
+// Indirect calls resolve to no *types.Func and return false.
+func CallBlocks(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	return callBlocks(pass, call, func(fn *types.Func) summary {
+		return factSummary(pass, fn)
+	})
+}
+
+// FuncShutdown reports whether fn carries a ShutdownAware fact.
+func FuncShutdown(pass *analysis.Pass, fn *types.Func) (string, bool) {
+	s := factSummary(pass, fn)
+	return s.shutdown, s.shutdown != ""
+}
+
+// BodyShutdown reports whether a function body — typically a go'd FuncLit,
+// which has no *types.Func to carry a fact — contains a shutdown tie.
+func BodyShutdown(pass *analysis.Pass, body *ast.BlockStmt) (string, bool) {
+	s := scanBody(pass, body, func(fn *types.Func) summary {
+		return factSummary(pass, fn)
+	})
+	return s.shutdown, s.shutdown != ""
+}
+
+// stdBlockers seeds the blocking relation: {package, receiver (or "" for
+// package-level), name} -> reason. Interface methods key on the interface's
+// name. sync.Mutex.Lock is deliberately absent — lockhold's contract is
+// about channels, network and Wait, not about nested mutexes.
+var stdBlockers = map[[3]string]string{
+	{"sync", "WaitGroup", "Wait"}:               "sync.WaitGroup.Wait",
+	{"sync", "Cond", "Wait"}:                    "sync.Cond.Wait",
+	{"time", "", "Sleep"}:                       "time.Sleep",
+	{"io", "", "ReadAll"}:                       "io.ReadAll",
+	{"io", "", "Copy"}:                          "io.Copy",
+	{"io", "", "CopyN"}:                         "io.CopyN",
+	{"io", "", "ReadFull"}:                      "io.ReadFull",
+	{"net", "", "Dial"}:                         "net.Dial",
+	{"net", "", "DialTimeout"}:                  "net.DialTimeout",
+	{"net", "", "Listen"}:                       "net.Listen",
+	{"net", "Conn", "Read"}:                     "net.Conn.Read",
+	{"net", "Conn", "Write"}:                    "net.Conn.Write",
+	{"net/http", "", "Get"}:                     "http.Get",
+	{"net/http", "", "Head"}:                    "http.Head",
+	{"net/http", "", "Post"}:                    "http.Post",
+	{"net/http", "", "PostForm"}:                "http.PostForm",
+	{"net/http", "Client", "Do"}:                "http.Client.Do",
+	{"net/http", "Client", "Get"}:               "http.Client.Get",
+	{"net/http", "Client", "Head"}:              "http.Client.Head",
+	{"net/http", "Client", "Post"}:              "http.Client.Post",
+	{"net/http", "Client", "PostForm"}:          "http.Client.PostForm",
+	{"net/http", "Server", "ListenAndServe"}:    "http.Server.ListenAndServe",
+	{"net/http", "Server", "ListenAndServeTLS"}: "http.Server.ListenAndServeTLS",
+	{"net/http", "Server", "Serve"}:             "http.Server.Serve",
+	{"net/http", "Server", "Shutdown"}:          "http.Server.Shutdown",
+	{"os/exec", "Cmd", "Run"}:                   "exec.Cmd.Run",
+	{"os/exec", "Cmd", "Wait"}:                  "exec.Cmd.Wait",
+	{"os/exec", "Cmd", "Output"}:                "exec.Cmd.Output",
+	{"os/exec", "Cmd", "CombinedOutput"}:        "exec.Cmd.CombinedOutput",
+}
+
+func callBlocks(pass *analysis.Pass, call *ast.CallExpr, look func(*types.Func) summary) (string, bool) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	key := [3]string{fn.Pkg().Path(), recvTypeName(fn), fn.Name()}
+	if reason, ok := stdBlockers[key]; ok {
+		return reason, true
+	}
+	if s := look(fn); s.block != "" {
+		return "calls " + fn.Name() + " (" + rootCause(s.block) + ")", true
+	}
+	return "", false
+}
+
+// rootCause unwraps nested "calls f (...)" chains to the primitive reason,
+// so a summary that crossed four packages reads "calls MakeBrief
+// (sync.WaitGroup.Wait)" instead of reciting the whole call path.
+func rootCause(reason string) string {
+	for strings.HasPrefix(reason, "calls ") {
+		i := strings.IndexByte(reason, '(')
+		if i < 0 || !strings.HasSuffix(reason, ")") {
+			break
+		}
+		reason = reason[i+1 : len(reason)-1]
+	}
+	return reason
+}
+
+// recvTypeName is the named receiver type of a method ("" for package-level
+// functions), pointers stripped, interfaces included.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	if named, isNamed := t.(*types.Named); isNamed && named.Obj() != nil {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// scanBody walks one function body (never descending into FuncLits or go
+// statements — their bodies run on other goroutines) and summarizes it.
+func scanBody(pass *analysis.Pass, body *ast.BlockStmt, look func(*types.Func) summary) summary {
+	var s summary
+	note := func(dst *string, v string) {
+		if *dst == "" {
+			*dst = v
+		}
+	}
+	var inspect func(n ast.Node) bool
+	rec := func(n ast.Node) { ast.Inspect(n, inspect) }
+	inspect = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				note(&s.block, "select")
+			}
+			for _, c := range x.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				// Comm clauses only contribute shutdown ties here — with a
+				// default present the channel ops themselves don't block.
+				if cc.Comm != nil {
+					if via, ok := commShutdown(pass, cc.Comm); ok {
+						note(&s.shutdown, via)
+					}
+				}
+				for _, st := range cc.Body {
+					rec(st)
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			note(&s.block, "channel send")
+			if name, ok := doneish(x.Chan); ok {
+				note(&s.shutdown, "signals completion on "+name)
+			}
+			return true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				note(&s.block, "channel receive")
+				if name, ok := doneish(x.X); ok {
+					note(&s.shutdown, "receives from "+name)
+				}
+			}
+			return true
+		case *ast.RangeStmt:
+			if isChanExpr(pass, x.X) {
+				note(&s.block, "range over channel")
+				note(&s.shutdown, "ranges over a channel (exits when it closes)")
+			}
+			return true
+		case *ast.DeferStmt:
+			if isWaitGroupDone(pass, x.Call) {
+				note(&s.shutdown, "defers WaitGroup.Done")
+			}
+			return true
+		case *ast.CallExpr:
+			if reason, ok := callBlocks(pass, x, look); ok {
+				note(&s.block, reason)
+			}
+			if fn := pass.CalleeFunc(x); fn != nil {
+				if sd := look(fn); sd.shutdown != "" {
+					note(&s.shutdown, "calls "+fn.Name()+" ("+rootCause(sd.shutdown)+")")
+				}
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, inspect)
+	return s
+}
+
+// commShutdown inspects one select comm clause for a done-ish receive or
+// completion send.
+func commShutdown(pass *analysis.Pass, comm ast.Stmt) (string, bool) {
+	switch c := comm.(type) {
+	case *ast.SendStmt:
+		if name, ok := doneish(c.Chan); ok {
+			return "signals completion on " + name, true
+		}
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(c.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			if name, ok := doneish(u.X); ok {
+				return "receives from " + name, true
+			}
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range c.Rhs {
+			if u, ok := ast.Unparen(rhs).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				if name, ok := doneish(u.X); ok {
+					return "receives from " + name, true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// doneish decides whether a channel expression names a shutdown signal:
+// ctx.Done()-style calls, or an identifier/field whose name suggests
+// done/stop/quit/shutdown/close/exit/cancel.
+func doneish(expr ast.Expr) (string, bool) {
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && doneishName(sel.Sel.Name) {
+			return sel.Sel.Name + "()", true
+		}
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && doneishName(id.Name) {
+			return id.Name + "()", true
+		}
+	case *ast.Ident:
+		if doneishName(x.Name) {
+			return x.Name, true
+		}
+	case *ast.SelectorExpr:
+		if doneishName(x.Sel.Name) {
+			return x.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// "clos" also catches closed/closing/closeCh spellings.
+var doneishWords = []string{"done", "stop", "quit", "shutdown", "clos", "exit", "cancel"}
+
+func doneishName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, w := range doneishWords {
+		if strings.Contains(lower, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// isChanExpr reports whether expr has channel type.
+func isChanExpr(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// isWaitGroupDone matches wg.Done() on a sync.WaitGroup.
+func isWaitGroupDone(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := pass.CalleeFunc(call)
+	return fn != nil && fn.Name() == "Done" && fn.Pkg() != nil &&
+		fn.Pkg().Path() == "sync" && recvTypeName(fn) == "WaitGroup"
+}

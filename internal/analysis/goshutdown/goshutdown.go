@@ -1,0 +1,57 @@
+// Package goshutdown defines a wbcheck pass enforcing the serving tier's
+// goroutine-lifecycle contract: every `go` statement in non-test code must
+// be tied to a shutdown path, so draining a server or finishing a training
+// epoch cannot leak goroutines. A spawn is considered tied when the spawned
+// body (or, for named functions, the blockfacts ShutdownAware summary —
+// computed transitively, across packages) selects or receives on a done-ish
+// channel or ctx.Done(), signals completion by sending on one, ranges over
+// a channel (exits when the producer closes it), or defers WaitGroup.Done.
+// Intentional process-lifetime goroutines carry a justified
+// `//wbcheck:ignore goshutdown -- why` instead.
+package goshutdown
+
+import (
+	"go/ast"
+
+	"webbrief/internal/analysis"
+	"webbrief/internal/analysis/blockfacts"
+)
+
+// Analyzer implements the goshutdown pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "goshutdown",
+	Doc:      "every go statement in non-test code must be tied to a shutdown path (ctx/done select, completion send, channel range, or WaitGroup.Done)",
+	Requires: []*analysis.Analyzer{blockfacts.Analyzer},
+	Run:      run,
+}
+
+const remedy = "wire a ctx/done select, completion send, or WaitGroup, or annotate with //wbcheck:ignore goshutdown -- <why>"
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+				if _, aware := blockfacts.BodyShutdown(pass, lit.Body); !aware {
+					pass.Reportf(gs.Pos(), "goroutine is not tied to a shutdown path; %s", remedy)
+				}
+				return true
+			}
+			fn := pass.CalleeFunc(gs.Call)
+			if fn == nil {
+				pass.Reportf(gs.Pos(), "goroutine spawns a dynamic function value the analysis cannot follow; %s", remedy)
+				return true
+			}
+			if _, aware := blockfacts.FuncShutdown(pass, fn); !aware {
+				pass.Reportf(gs.Pos(), "goroutine %s is not tied to a shutdown path; %s", fn.Name(), remedy)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package goshutdown_test
+
+import (
+	"testing"
+
+	"webbrief/internal/analysis/analysistest"
+	"webbrief/internal/analysis/goshutdown"
+)
+
+func TestGoshutdown(t *testing.T) {
+	analysistest.Run(t, goshutdown.Analyzer, "./testdata/src/a")
+}

@@ -1,0 +1,103 @@
+// Package a is the goshutdown fixture: goroutines with and without a
+// shutdown tie.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+// BadFireAndForget spawns a loop nothing can stop.
+func BadFireAndForget(work func()) {
+	go func() { // want "not tied to a shutdown path"
+		for {
+			work()
+		}
+	}()
+}
+
+// BadDynamic spawns a function value the analysis cannot follow.
+func BadDynamic(fn func()) {
+	go fn() // want "dynamic function value"
+}
+
+func spin() {
+	for {
+	}
+}
+
+// BadNamed spawns a named function with no shutdown tie of its own.
+func BadNamed() {
+	go spin() // want "spin is not tied to a shutdown path"
+}
+
+// GoodCtx polls ctx.Done between work items.
+func GoodCtx(ctx context.Context, work func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+			work()
+		}
+	}()
+}
+
+// GoodWaitGroup is the fork-join shape: defer wg.Done ties the goroutine's
+// lifetime to the spawner's Wait.
+func GoodWaitGroup(items []int, fn func(int)) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it int) {
+			defer wg.Done()
+			fn(it)
+		}(it)
+	}
+	wg.Wait()
+}
+
+// GoodRange exits when the producer closes the channel.
+func GoodRange(ch chan int, fn func(int)) {
+	go func() {
+		for v := range ch {
+			fn(v)
+		}
+	}()
+}
+
+func drain(stop chan struct{}, work func()) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+			work()
+		}
+	}
+}
+
+// GoodNamed spawns a function whose ShutdownAware fact comes from the
+// blockfacts summary of its body.
+func GoodNamed(stop chan struct{}, work func()) {
+	go drain(stop, work)
+}
+
+// GoodDoneSignal signals completion on a done channel.
+func GoodDoneSignal(result chan error, run func() error) {
+	done := make(chan error, 1)
+	go func() { done <- run() }()
+	result <- <-done
+}
+
+// IgnoredJustified shows the escape hatch for intentional process-lifetime
+// goroutines.
+func IgnoredJustified() {
+	//wbcheck:ignore goshutdown -- fixture: process-lifetime pump, exits with the program
+	go func() {
+		for {
+		}
+	}()
+}

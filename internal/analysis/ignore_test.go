@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"webbrief/internal/analysis/analysistest"
+	"webbrief/internal/analysis/floateq"
+	"webbrief/internal/analysis/seedrand"
+)
+
+// TestIgnoreDirectiveEdgeCases drives the //wbcheck:ignore edge cases
+// through real passes: a directive above a multi-line statement must cover
+// the continuation lines, one directive may name several passes, and
+// justification prose after `--` never counts as a pass name.
+func TestIgnoreDirectiveEdgeCases(t *testing.T) {
+	analysistest.RunAll(t, "./testdata/src/ignore", floateq.Analyzer, seedrand.Analyzer)
+}

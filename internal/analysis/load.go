@@ -18,6 +18,7 @@ import (
 // Package is one type-checked package under analysis.
 type Package struct {
 	ImportPath string
+	Imports    []string // direct imports, for dependency-ordered scheduling
 	Fset       *token.FileSet
 	Files      []*ast.File
 	Types      *types.Package
@@ -31,6 +32,7 @@ type listPackage struct {
 	Name       string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	Standard   bool
 	DepOnly    bool
 	Error      *struct{ Err string }
@@ -106,6 +108,7 @@ func Load(patterns []string) ([]*Package, error) {
 		}
 		pkgs = append(pkgs, &Package{
 			ImportPath: lp.ImportPath,
+			Imports:    lp.Imports,
 			Fset:       fset,
 			Files:      files,
 			Types:      tpkg,

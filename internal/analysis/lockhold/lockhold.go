@@ -1,0 +1,311 @@
+// Package lockhold defines a wbcheck pass forbidding sync.Mutex/RWMutex
+// locks held across calls that can block on channels, network, or Wait
+// primitives — the convoy shape that turned PR 3's serial-mutex baseline
+// into a bottleneck, and the classic ingredient of a drain deadlock (lock
+// held, channel send blocks, the receiver needs the lock). Whether a call
+// can block comes from the blockfacts summaries, so the answer is
+// transitive and crosses package boundaries: holding a lock over
+// wb.MakeBrief is flagged because, three packages down, the matmul kernels
+// fork-join on a WaitGroup.
+//
+// The checker tracks held locks per statement list with per-branch copies,
+// so a lock taken and released inside one arm of an if never taints the
+// other arm; deferred Unlock marks the lock held to the end of the
+// function. Indirect calls (function values, interface methods) are assumed
+// non-blocking — the pass prefers silence to noise.
+package lockhold
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"webbrief/internal/analysis"
+	"webbrief/internal/analysis/blockfacts"
+)
+
+// Analyzer implements the lockhold pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "lockhold",
+	Doc:      "no sync.Mutex/RWMutex held across a call whose transitive summary says it can block on channels, network, or Wait",
+	Requires: []*analysis.Analyzer{blockfacts.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) {
+	c := &checker{pass: pass}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					c.stmts(fn.Body.List, &heldSet{})
+				}
+			case *ast.FuncLit:
+				c.stmts(fn.Body.List, &heldSet{})
+				return false // stmts re-visits nested FuncLits itself
+			}
+			return true
+		})
+	}
+}
+
+// heldSet is the ordered set of locks held at a program point.
+type heldSet struct {
+	locks []heldLock
+}
+
+type heldLock struct {
+	obj  types.Object // terminal var/field of the mutex expression
+	name string       // printable form, e.g. "s.mu"
+}
+
+func (h *heldSet) clone() *heldSet {
+	return &heldSet{locks: append([]heldLock(nil), h.locks...)}
+}
+
+func (h *heldSet) add(obj types.Object, name string) {
+	for _, l := range h.locks {
+		if l.obj == obj {
+			return
+		}
+	}
+	h.locks = append(h.locks, heldLock{obj, name})
+}
+
+func (h *heldSet) remove(obj types.Object) {
+	for i, l := range h.locks {
+		if l.obj == obj {
+			h.locks = append(h.locks[:i], h.locks[i+1:]...)
+			return
+		}
+	}
+}
+
+// innermost is the most recently acquired lock, named in diagnostics.
+func (h *heldSet) innermost() (heldLock, bool) {
+	if len(h.locks) == 0 {
+		return heldLock{}, false
+	}
+	return h.locks[len(h.locks)-1], true
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// stmts walks one statement list, threading the held-lock state through in
+// order. Compound statements hand copies of the state to their branches:
+// lock transitions inside a branch are real within it but do not leak out,
+// trading false negatives for zero false positives on branch-dependent
+// locking.
+func (c *checker) stmts(list []ast.Stmt, held *heldSet) {
+	for _, st := range list {
+		c.stmt(st, held)
+	}
+}
+
+func (c *checker) stmt(st ast.Stmt, held *heldSet) {
+	switch x := st.(type) {
+	case *ast.BlockStmt:
+		c.stmts(x.List, held)
+	case *ast.LabeledStmt:
+		c.stmt(x.Stmt, held)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			c.scan(x.Init, held)
+		}
+		c.scan(x.Cond, held)
+		c.stmts(x.Body.List, held.clone())
+		if x.Else != nil {
+			c.stmt(x.Else, held.clone())
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			c.scan(x.Init, held)
+		}
+		if x.Cond != nil {
+			c.scan(x.Cond, held)
+		}
+		body := held.clone()
+		c.stmts(x.Body.List, body)
+		if x.Post != nil {
+			c.scan(x.Post, body)
+		}
+	case *ast.RangeStmt:
+		c.scan(x.X, held)
+		if isChanExpr(c.pass, x.X) {
+			c.report(x.Pos(), held, "range over a channel")
+		}
+		c.stmts(x.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			c.scan(x.Init, held)
+		}
+		if x.Tag != nil {
+			c.scan(x.Tag, held)
+		}
+		for _, cl := range x.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.stmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			c.scan(x.Init, held)
+		}
+		c.scan(x.Assign, held)
+		for _, cl := range x.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.stmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		if !selectHasDefault(x) {
+			c.report(x.Pos(), held, "select without default")
+		}
+		for _, cl := range x.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				c.stmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.GoStmt:
+		// The spawned body runs without this goroutine's locks; argument
+		// evaluation is synchronous but never lock-transitioning in
+		// practice.
+	case *ast.DeferStmt:
+		if _, _, ok := c.lockTransition(x.Call); ok && !isLockCall(c.pass, x.Call) {
+			// Deferred Unlock: the lock stays held for the rest of the
+			// function, which is exactly what the threaded state says — so
+			// nothing to do. (A deferred Lock would be bizarre; ignored.)
+			return
+		}
+		// A deferred call that can itself block (defer wg.Wait() after
+		// defer mu.Unlock() runs BEFORE the unlock) still executes with
+		// every currently-deferred lock held.
+		c.scan(x.Call, held)
+	default:
+		c.scan(st, held)
+	}
+}
+
+// scan walks one simple statement or expression in source order, applying
+// lock transitions and reporting blocking events that occur while a lock is
+// held. FuncLits and go statements are skipped: their bodies run elsewhere.
+func (c *checker) scan(n ast.Node, held *heldSet) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			c.report(x.Arrow, held, "channel send")
+			return true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				c.report(x.OpPos, held, "channel receive")
+			}
+			return true
+		case *ast.CallExpr:
+			if obj, name, ok := c.lockTransition(x); ok {
+				if isLockCall(c.pass, x) {
+					held.add(obj, name)
+				} else {
+					held.remove(obj)
+				}
+				return true
+			}
+			if reason, blocks := blockfacts.CallBlocks(c.pass, x); blocks {
+				c.report(x.Pos(), held, reason)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+func (c *checker) report(pos token.Pos, held *heldSet, what string) {
+	if lock, ok := held.innermost(); ok {
+		c.pass.Reportf(pos, "%s held across %s, which can block; release the lock first or annotate with //wbcheck:ignore lockhold -- <why>", lock.name, what)
+	}
+}
+
+// lockTransition matches mu.Lock/RLock/Unlock/RUnlock on sync.Mutex or
+// sync.RWMutex, returning the mutex's terminal object and printable name.
+func (c *checker) lockTransition(call *ast.CallExpr) (types.Object, string, bool) {
+	fn := c.pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, "", false
+	}
+	recv := recvTypeName(fn)
+	if recv != "Mutex" && recv != "RWMutex" {
+		return nil, "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	// The receiver expression minus the method: "s.mu" in s.mu.Lock().
+	obj := terminalObject(c.pass, sel.X)
+	if obj == nil {
+		return nil, "", false
+	}
+	return obj, types.ExprString(sel.X), true
+}
+
+func isLockCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := pass.CalleeFunc(call)
+	return fn != nil && (fn.Name() == "Lock" || fn.Name() == "RLock")
+}
+
+// terminalObject resolves the identity of a mutex expression: the last
+// selected field, or the identifier itself.
+func terminalObject(pass *analysis.Pass, expr ast.Expr) types.Object {
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[x]
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[x.Sel]
+	}
+	return nil
+}
+
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	if named, isNamed := t.(*types.Named); isNamed && named.Obj() != nil {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func isChanExpr(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}

@@ -1,0 +1,20 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"webbrief/internal/analysis/analysistest"
+	"webbrief/internal/analysis/lockhold"
+)
+
+func TestLockhold(t *testing.T) {
+	analysistest.Run(t, lockhold.Analyzer, "./testdata/src/a")
+}
+
+// TestLockholdCrossPackageFact loads a two-package fixture: dep exports a
+// blocking function, and the Blocks fact blockfacts attaches to it must
+// travel through the driver's fact store to flag a lock held across
+// dep.Flush in the importing package.
+func TestLockholdCrossPackageFact(t *testing.T) {
+	analysistest.Run(t, lockhold.Analyzer, "./testdata/src/factdep/...")
+}

@@ -1,0 +1,15 @@
+// Package dep exports Flush, whose ability to block travels to importing
+// packages as a blockfacts Blocks fact.
+package dep
+
+// Flush drains ch until the producer closes it.
+func Flush(ch chan int) int {
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// Size is trivially non-blocking.
+func Size(xs []int) int { return len(xs) }

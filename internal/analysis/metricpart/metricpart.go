@@ -1,0 +1,289 @@
+// Package metricpart defines a wbcheck pass keeping the /metrics
+// requests_total partition exact as outcome counters are added. It applies
+// to any package declaring a `Metrics` struct with a `Requests
+// atomic.Int64` field (internal/serve today) and enforces three clauses of
+// one contract:
+//
+//  1. the package declares a `requestOutcomeFields` registry — the string
+//     names of the atomic.Int64 Metrics fields that partition
+//     requests_total — and every registry entry names such a field;
+//  2. the snapshot struct's `Responses` field (what /metrics serves and the
+//     reconciliation tests sum) carries exactly the registered outcomes:
+//     nothing missing, nothing extra;
+//  3. at every outcome site — a statement list that records a response
+//     status (assigns a `.Status` or calls http.Error/WriteHeader) — any
+//     Metrics counter bumped with .Add must be a registered outcome (or
+//     Requests itself). Bumping an unregistered counter where an outcome is
+//     decided is how the partition silently drifts from requests_total.
+//
+// Gauges and non-outcome counters (InFlight, Retries, batching totals) are
+// untouched: they are only checked where a status is being recorded.
+package metricpart
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"webbrief/internal/analysis"
+)
+
+// Analyzer implements the metricpart pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricpart",
+	Doc:  "atomic outcome counters on a Metrics struct must be registered in the requests_total partition (requestOutcomeFields) and mirrored in the Responses snapshot",
+	Run:  run,
+}
+
+const registryName = "requestOutcomeFields"
+
+func run(pass *analysis.Pass) {
+	m := findMetrics(pass)
+	if m == nil {
+		return
+	}
+	registered := checkRegistry(pass, m)
+	if registered == nil {
+		return
+	}
+	checkSnapshot(pass, registered)
+	checkOutcomeSites(pass, m, registered)
+}
+
+// metricsInfo describes the package's Metrics struct.
+type metricsInfo struct {
+	spec   *ast.TypeSpec
+	fields map[string]*types.Var // atomic.Int64 fields only, by name
+}
+
+// findMetrics locates a `Metrics` struct with a `Requests atomic.Int64`
+// field; packages without one are out of scope for this pass.
+func findMetrics(pass *analysis.Pass) *metricsInfo {
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != "Metrics" {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				info := &metricsInfo{spec: ts, fields: map[string]*types.Var{}}
+				for _, f := range st.Fields.List {
+					for _, name := range f.Names {
+						v, ok := pass.Info.Defs[name].(*types.Var)
+						if ok && analysis.IsNamed(v.Type(), "sync/atomic", "Int64") {
+							info.fields[name.Name] = v
+						}
+					}
+				}
+				if _, ok := info.fields["Requests"]; ok {
+					return info
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkRegistry finds the requestOutcomeFields string-slice literal and
+// validates every entry against the Metrics fields, returning the
+// registered set (nil when the registry itself is missing).
+func checkRegistry(pass *analysis.Pass, m *metricsInfo) map[string]bool {
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != registryName || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					registered := map[string]bool{}
+					for _, elt := range lit.Elts {
+						bl, ok := elt.(*ast.BasicLit)
+						if !ok {
+							continue
+						}
+						outcome := stripQuotes(bl.Value)
+						if _, isField := m.fields[outcome]; !isField {
+							// Not propagated to the snapshot expectation:
+							// one mistake, one report.
+							pass.Reportf(bl.Pos(), "requestOutcomeFields entry %q is not an atomic.Int64 field of Metrics", outcome)
+							continue
+						}
+						registered[outcome] = true
+					}
+					return registered
+				}
+			}
+		}
+	}
+	pass.Reportf(m.spec.Pos(), "Metrics partitions requests_total but the package has no %s registry; declare the outcome-field list so the partition is checkable", registryName)
+	return nil
+}
+
+// checkSnapshot compares the inner fields of any struct field named
+// `Responses` against the registered outcomes.
+func checkSnapshot(pass *analysis.Pass, registered map[string]bool) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				if len(f.Names) != 1 || f.Names[0].Name != "Responses" {
+					continue
+				}
+				inner, ok := f.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				present := map[string]bool{}
+				for _, rf := range inner.Fields.List {
+					for _, name := range rf.Names {
+						present[name.Name] = true
+						if !registered[name.Name] {
+							pass.Reportf(name.Pos(), "Responses snapshot field %s is not a registered outcome; add it to %s or drop it", name.Name, registryName)
+						}
+					}
+				}
+				for _, outcome := range sortedKeys(registered) {
+					if !present[outcome] {
+						pass.Reportf(f.Names[0].Pos(), "registered outcome %s is missing from the Responses snapshot", outcome)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkOutcomeSites flags unregistered Metrics counter bumps in any
+// statement list that records a response status.
+func checkOutcomeSites(pass *analysis.Pass, m *metricsInfo, registered map[string]bool) {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch x := n.(type) {
+			case *ast.BlockStmt:
+				list = x.List
+			case *ast.CaseClause:
+				list = x.Body
+			case *ast.CommClause:
+				list = x.Body
+			default:
+				return true
+			}
+			if !hasStatusSignal(pass, list) {
+				return true
+			}
+			for _, st := range list {
+				es, ok := st.(*ast.ExprStmt)
+				if !ok {
+					continue
+				}
+				call, ok := es.X.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				field, ok := metricsAddField(pass, m, call)
+				if !ok || field == "Requests" || registered[field] {
+					continue
+				}
+				pass.Reportf(call.Pos(), "outcome site bumps Metrics.%s, which is not registered in the requests_total partition; add %q to %s (and the Responses snapshot) or move the bump out of the outcome site", field, field, registryName)
+			}
+			return true
+		})
+	}
+}
+
+// hasStatusSignal reports whether a statement list directly records a
+// response status: an assignment to a `.Status` field, or a call to
+// http.Error / WriteHeader.
+func hasStatusSignal(pass *analysis.Pass, list []ast.Stmt) bool {
+	for _, st := range list {
+		switch x := st.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok && sel.Sel.Name == "Status" {
+					return true
+				}
+			}
+		case *ast.ExprStmt:
+			call, ok := x.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fn := pass.CalleeFunc(call)
+			if fn == nil {
+				continue
+			}
+			if fn.Name() == "WriteHeader" {
+				return true
+			}
+			if fn.Name() == "Error" && fn.Pkg() != nil && fn.Pkg().Path() == "net/http" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// metricsAddField matches `<expr>.<Field>.Add(...)` where Field is an
+// atomic.Int64 field of the package's Metrics struct, returning the field
+// name.
+func metricsAddField(pass *analysis.Pass, m *metricsInfo, call *ast.CallExpr) (string, bool) {
+	addSel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || addSel.Sel.Name != "Add" {
+		return "", false
+	}
+	fieldSel, ok := ast.Unparen(addSel.X).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fieldObj, ok := pass.Info.Uses[fieldSel.Sel].(*types.Var)
+	if !ok {
+		return "", false
+	}
+	if declared, isField := m.fields[fieldSel.Sel.Name]; !isField || declared != fieldObj {
+		return "", false
+	}
+	return fieldSel.Sel.Name, true
+}
+
+func stripQuotes(s string) string {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,12 @@
+package metricpart_test
+
+import (
+	"testing"
+
+	"webbrief/internal/analysis/analysistest"
+	"webbrief/internal/analysis/metricpart"
+)
+
+func TestMetricpart(t *testing.T) {
+	analysistest.Run(t, metricpart.Analyzer, "./testdata/src/a")
+}

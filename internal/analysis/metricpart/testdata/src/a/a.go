@@ -1,0 +1,63 @@
+// Package a is the metricpart fixture: a Metrics struct whose
+// requests_total partition has one unregistered counter bumped at an
+// outcome site, a stale registry entry, and a snapshot drifted both ways.
+package a
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Metrics mirrors the serving metrics shape: Requests is partitioned by the
+// outcome counters named in requestOutcomeFields.
+type Metrics struct {
+	Requests atomic.Int64
+
+	OK       atomic.Int64
+	Overload atomic.Int64
+	Teapot   atomic.Int64 // outcome counter nobody registered
+
+	InFlight atomic.Int64 // gauge, not an outcome
+}
+
+var requestOutcomeFields = []string{
+	"OK",
+	"Overload",
+	"Gone", // want "not an atomic.Int64 field"
+}
+
+type snapshot struct {
+	RequestsTotal int64    `json:"requests_total"`
+	Responses     struct { // want "registered outcome Overload is missing"
+		OK    int64 `json:"ok"`
+		Extra int64 `json:"extra"` // want "not a registered outcome"
+	} `json:"responses"`
+}
+
+// Snapshot keeps the fixture types and fields referenced.
+func Snapshot(m *Metrics) snapshot {
+	var s snapshot
+	s.RequestsTotal = m.Requests.Load()
+	s.Responses.OK = m.OK.Load()
+	s.Responses.Extra = m.Overload.Load() + m.Teapot.Load() + m.InFlight.Load()
+	return s
+}
+
+// HandleOK bumps a registered outcome where the status is written: clean.
+func HandleOK(m *Metrics, w http.ResponseWriter) {
+	m.Requests.Add(1)
+	m.OK.Add(1)
+	w.WriteHeader(http.StatusOK)
+}
+
+// Reject bumps an unregistered counter at an outcome site.
+func Reject(m *Metrics, w http.ResponseWriter) {
+	m.Teapot.Add(1) // want "not registered in the requests_total partition"
+	http.Error(w, "teapot", http.StatusTeapot)
+}
+
+// Track moves a gauge outside any outcome site: clean.
+func Track(m *Metrics) {
+	m.InFlight.Add(1)
+	m.InFlight.Add(-1)
+}

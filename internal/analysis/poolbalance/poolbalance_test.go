@@ -1,0 +1,12 @@
+package poolbalance_test
+
+import (
+	"testing"
+
+	"webbrief/internal/analysis/analysistest"
+	"webbrief/internal/analysis/poolbalance"
+)
+
+func TestPoolbalance(t *testing.T) {
+	analysistest.Run(t, poolbalance.Analyzer, "./testdata/src/a")
+}

@@ -1,0 +1,85 @@
+// Package a is the poolbalance fixture: balanced and unbalanced pooled
+// checkouts, both through a Get/Put pair and against sync.Pool directly.
+package a
+
+import "sync"
+
+type buf struct{ b []byte }
+
+var bufPool = sync.Pool{New: func() any { return new(buf) }}
+
+// GetBuf hands a pooled buffer to the caller: the checkout escapes by
+// design (the handoff shape), so the balance obligation moves to callers.
+func GetBuf() *buf { return bufPool.Get().(*buf) }
+
+// PutBuf recycles a buffer.
+func PutBuf(b *buf) {
+	b.b = b.b[:0]
+	bufPool.Put(b)
+}
+
+// GoodDeferred is the preferred shape.
+func GoodDeferred() int {
+	b := GetBuf()
+	defer PutBuf(b)
+	return len(b.b)
+}
+
+// GoodDeferredClosure puts inside a deferred func literal.
+func GoodDeferredClosure() int {
+	b := GetBuf()
+	defer func() { PutBuf(b) }()
+	return len(b.b)
+}
+
+// GoodLinear puts before the only return.
+func GoodLinear() int {
+	b := GetBuf()
+	n := len(b.b)
+	PutBuf(b)
+	return n
+}
+
+// GoodHandoffVar returns the checked-out resource through a variable.
+func GoodHandoffVar() *buf {
+	b := GetBuf()
+	b.b = b.b[:0]
+	return b
+}
+
+// GoodRawHandoff returns the raw pool checkout through a type assertion.
+func GoodRawHandoff() *buf {
+	return bufPool.Get().(*buf)
+}
+
+// BadNoPut leaks the buffer out of the pool.
+func BadNoPut() int {
+	b := GetBuf() // want "never matched by a Put"
+	return len(b.b)
+}
+
+// BadEarlyReturn puts on one path but not the early one.
+func BadEarlyReturn(flag bool) int {
+	b := GetBuf() // want "missing a Put on the return path"
+	if flag {
+		return 0
+	}
+	n := len(b.b)
+	PutBuf(b)
+	return n
+}
+
+// BadFallthrough balances the first checkout but forgets the second on the
+// implicit final exit.
+func BadFallthrough(sink *[]byte) {
+	old := GetBuf()
+	PutBuf(old)
+	b := GetBuf() // want "missing a Put on the fall-through path"
+	*sink = append(*sink, b.b...)
+}
+
+// BadRawPool leaks a direct sync.Pool checkout.
+func BadRawPool() {
+	b := bufPool.Get().(*buf) // want "never matched by a Put"
+	b.b = b.b[:0]
+}

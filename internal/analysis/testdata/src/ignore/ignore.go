@@ -1,0 +1,40 @@
+// Package ignore exercises //wbcheck:ignore directive edge cases: coverage
+// of multi-line statements, several pass names in one directive, and the
+// `--` justification separator.
+package ignore
+
+import "math/rand"
+
+// MultiLine: the directive sits above a statement spanning two lines; the
+// violation on the continuation line must be suppressed too.
+func MultiLine(a, b, c, d float64) bool {
+	//wbcheck:ignore floateq -- fixture: exact equality is the point here
+	return a == b ||
+		c == d
+}
+
+// MultiPass: one directive naming two passes suppresses a line that
+// violates both.
+func MultiPass(x float64) bool {
+	//wbcheck:ignore seedrand floateq -- fixture: both violations are deliberate
+	return rand.Float64() == x
+}
+
+// WrongName: a directive naming a different pass suppresses nothing.
+func WrongName(a, b float64) bool {
+	//wbcheck:ignore detmap -- fixture: names only detmap
+	return a == b // want "floating-point"
+}
+
+// JustificationNotNames: prose after `--` is never parsed as a pass name,
+// even when it mentions one.
+func JustificationNotNames(a, b float64) bool {
+	//wbcheck:ignore seedrand -- fixture: floateq must NOT be suppressed by this mention
+	return a == b // want "floating-point"
+}
+
+// Lookalike: "wbcheck:ignored" is not a directive.
+func Lookalike(a, b float64) bool {
+	//wbcheck:ignoredetmap is not a directive and neither is this sentence
+	return a == b // want "floating-point"
+}

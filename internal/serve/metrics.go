@@ -196,6 +196,27 @@ type Metrics struct {
 	BatchWait         nsHistogram   // enqueue → batch dispatch, per request
 }
 
+// requestOutcomeFields names the Metrics counters that partition
+// requests_total: every request ends in exactly one of them. The wbcheck
+// metricpart pass enforces the contract mechanically — each entry must be
+// an atomic.Int64 field above, the Responses snapshot must mirror this
+// list exactly, and any new counter bumped where a response status is
+// recorded must be added here (and to the snapshot) or the partition
+// silently drifts. TestRequestOutcomeFieldsReconcile re-checks the same
+// three-way correspondence at run time with reflection.
+var requestOutcomeFields = []string{
+	"OK",
+	"BadMethod",
+	"BadRequest",
+	"TooLarge",
+	"Unbriefable",
+	"Overload",
+	"Timeout",
+	"Canceled",
+	"Draining",
+	"ReplicaFailure",
+}
+
 // metricsSnapshot is the JSON document served at /metrics. Struct (not
 // map) so field order is stable across scrapes.
 type metricsSnapshot struct {

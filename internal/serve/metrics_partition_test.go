@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRequestOutcomeFieldsReconcile verifies at run time what the wbcheck
+// metricpart pass verifies statically: requestOutcomeFields names exactly
+// the atomic.Int64 outcome counters of Metrics, and the Responses snapshot
+// carries one field per registered outcome — nothing missing, nothing
+// extra. A drift here means /metrics sums would stop reconciling with
+// requests_total.
+func TestRequestOutcomeFieldsReconcile(t *testing.T) {
+	atomicInt64 := reflect.TypeOf(atomic.Int64{})
+	metricsType := reflect.TypeOf(Metrics{})
+
+	registered := map[string]bool{}
+	for _, name := range requestOutcomeFields {
+		if registered[name] {
+			t.Errorf("requestOutcomeFields lists %s twice", name)
+		}
+		registered[name] = true
+		field, ok := metricsType.FieldByName(name)
+		if !ok {
+			t.Errorf("requestOutcomeFields entry %s is not a Metrics field", name)
+			continue
+		}
+		if field.Type != atomicInt64 {
+			t.Errorf("Metrics.%s is %v, want atomic.Int64", name, field.Type)
+		}
+	}
+
+	responses, ok := reflect.TypeOf(metricsSnapshot{}).FieldByName("Responses")
+	if !ok {
+		t.Fatal("metricsSnapshot has no Responses field")
+	}
+	seen := map[string]bool{}
+	for i := 0; i < responses.Type.NumField(); i++ {
+		name := responses.Type.Field(i).Name
+		seen[name] = true
+		if !registered[name] {
+			t.Errorf("Responses snapshot field %s is not in requestOutcomeFields", name)
+		}
+	}
+	for name := range registered {
+		if !seen[name] {
+			t.Errorf("registered outcome %s is missing from the Responses snapshot", name)
+		}
+	}
+}

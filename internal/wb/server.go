@@ -38,6 +38,7 @@ func (b *Briefer) BriefHTML(html string) (*Brief, error) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	//wbcheck:ignore lockhold -- the mutex IS the briefing serialisation point: MakeBrief's only blocking op is the matmul kernels' bounded fork-join (tensor.parallelRows), which always completes; nothing reached from it takes this lock
 	return MakeBrief(b.model, inst, b.vocab, b.beamWidth), nil
 }
 

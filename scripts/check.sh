@@ -5,7 +5,8 @@
 #     FUZZTIME=0 ./scripts/check.sh   # skip the fuzz smoke for quick loops
 #
 # Order is cheapest-first so failures surface fast: build, vet, the wbcheck
-# determinism/numeric-safety lints, the race-enabled unit tests for the two
+# lint suite (determinism, numeric safety, and the cross-package
+# concurrency/resource-safety passes), the race-enabled unit tests for the
 # concurrency-bearing packages, then a short coverage-guided fuzz smoke over
 # every fuzz target (seeded from the crasher-shaped corpora under
 # testdata/fuzz/). wbdebug-tagged tests exercise the runtime invariant layer
@@ -21,7 +22,7 @@ go build ./...
 echo "== go vet"
 go vet ./...
 
-echo "== wbcheck (determinism + numeric-safety lints)"
+echo "== wbcheck (determinism + numeric-safety + concurrency/resource-safety lints, 9 passes)"
 go run ./cmd/wbcheck ./...
 
 echo "== race-enabled tests (ag, nn, wb, serve, tensor: e2e + load soak + kernel equivalence)"
