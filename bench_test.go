@@ -258,6 +258,36 @@ func BenchmarkServeBriefSerialMutex(b *testing.B) {
 	benchHTTPPath(b, wb.NewBriefer(m, v, 4, 0), html)
 }
 
+// BenchmarkServeBriefCacheHit measures the content-addressed cache's hit
+// path through the full HTTP surface: one priming request fills the cache,
+// then every timed request is a raw-key hit — one SHA-256 and a shard-locked
+// probe instead of parse + encode + beam decode. Compare against the
+// replicas=1 cell of BenchmarkServeBrief for the hit-vs-miss latency gap;
+// results land in BENCH_5.json via scripts/bench.sh.
+func BenchmarkServeBriefCacheHit(b *testing.B) {
+	m, v, html := serveBenchModel(b)
+	srv, err := serve.New(m, v, serve.Config{
+		Replicas: 1, QueueDepth: 1 << 16, BeamWidth: 4, CacheCapacity: 1 << 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Pool().Warm(html); err != nil {
+		b.Fatal(err)
+	}
+	// Prime: the one miss computes and fills the cache.
+	req := httptest.NewRequest(http.MethodPost, "/brief", strings.NewReader(html))
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("priming request failed: %d", rec.Code)
+	}
+	benchHTTPPath(b, srv.Handler(), html)
+	if hits := srv.Metrics().CacheHits.Load(); hits < int64(b.N) {
+		b.Fatalf("cache hits %d < %d timed requests; the benchmark measured misses", hits, b.N)
+	}
+}
+
 // BenchmarkTeacherEpoch times one training epoch of the Joint-WB teacher at
 // smoke scale — the dominant cost of every experiment.
 func BenchmarkTeacherEpoch(b *testing.B) {

@@ -29,6 +29,18 @@
 // under concurrent load for a bounded, deadline-aware latency cost:
 //
 //	wbserve -model model.bin -batch-window 2ms -batch-max 8
+//
+// With -cache set, repeat briefings of the same page content are served
+// from a content-addressed cache in microseconds — no replica checkout, no
+// batching — and concurrent cold misses of one page coalesce into a single
+// computation. A -cache-policy file controls per-domain admission and TTL,
+// keyed by the optional ?src= query parameter:
+//
+//	wbserve -model model.bin -cache 4096 -cache-ttl 10m -cache-policy policy.conf
+//
+// The -model flag accepts the legacy gob bundle or the binary snapshot
+// format (wbtrain -format snapshot, or convert with wbsnap); the encoding
+// is sniffed from the file's magic bytes.
 package main
 
 import (
@@ -42,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"webbrief/internal/briefcache"
 	"webbrief/internal/fault"
 	"webbrief/internal/serve"
 	"webbrief/internal/wb"
@@ -68,16 +81,27 @@ func main() {
 	chaosSeed := flag.Int64("chaosseed", 1, "seed for the -chaos fault schedule")
 	batchWindow := flag.Duration("batch-window", 0, "micro-batching window: admitted requests wait up to this long for batchmates before one fused batched forward (0 = off, exact per-request path)")
 	batchMax := flag.Int("batch-max", 8, "max requests coalesced into one micro-batch")
+	cacheCap := flag.Int("cache", 0, "content-addressed briefing cache capacity in entries (0 = off)")
+	cacheShards := flag.Int("cache-shards", 0, "cache shard count (0 = default)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "default cache entry lifetime (0 = entries never expire)")
+	cachePolicyPath := flag.String("cache-policy", "", "per-domain admission/TTL policy file (deny/ttl/default lines; keyed by ?src=)")
 	flag.Parse()
 
 	f, err := os.Open(*modelPath)
 	if err != nil {
 		log.Fatalf("open model: %v (train one with wbtrain)", err)
 	}
-	m, v, err := wb.LoadJointWB(f)
+	m, v, err := wb.LoadModelAuto(f)
 	f.Close()
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	var policy *briefcache.Policy
+	if *cachePolicyPath != "" {
+		if policy, err = briefcache.LoadPolicy(*cachePolicyPath); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	cfg := serve.Config{
@@ -92,6 +116,10 @@ func main() {
 		ProbeSuccesses: *probeOK,
 		BatchWindow:    *batchWindow,
 		BatchMax:       *batchMax,
+		CacheCapacity:  *cacheCap,
+		CacheShards:    *cacheShards,
+		CacheTTL:       *cacheTTL,
+		CachePolicy:    policy,
 	}
 	if !*quiet {
 		cfg.AccessLog = os.Stderr

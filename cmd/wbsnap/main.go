@@ -1,0 +1,96 @@
+// Command wbsnap converts model bundles between the legacy gob encoding
+// and the versioned binary snapshot format (internal/snapshot), and
+// inspects snapshot files. The snapshot format is what the serving tier
+// boots and clones from — checksummed sections of little-endian float64
+// slabs that decode measurably faster than gob — while gob remains
+// readable for migration.
+//
+// Usage:
+//
+//	wbsnap -in model.bin -out model.snap     # gob (or snapshot) → snapshot
+//	wbsnap -in model.snap -out model.bin -gob  # snapshot (or gob) → gob
+//	wbsnap -info model.snap                  # describe a snapshot container
+//
+// The input format is sniffed from its magic bytes, so -in accepts either
+// encoding; wbserve does the same at boot via wb.LoadModelAuto.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"webbrief/internal/snapshot"
+	"webbrief/internal/wb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wbsnap: ")
+	in := flag.String("in", "", "input model bundle (gob or snapshot, sniffed)")
+	out := flag.String("out", "", "output path")
+	toGob := flag.Bool("gob", false, "write the legacy gob encoding instead of a snapshot")
+	info := flag.String("info", "", "describe a snapshot file (sections, sizes, version) and exit")
+	flag.Parse()
+
+	if *info != "" {
+		if err := describe(*info); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *in == "" || *out == "" {
+		log.Fatal("need -in and -out (or -info file.snap); see wbsnap -h")
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, v, err := wb.LoadModelAuto(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("load %s: %v", *in, err)
+	}
+
+	o, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer o.Close()
+	if *toGob {
+		err = wb.SaveJointWB(o, m, v)
+	} else {
+		err = wb.SaveSnapshot(o, m, v)
+	}
+	if err != nil {
+		log.Fatalf("write %s: %v", *out, err)
+	}
+	format := "snapshot"
+	if *toGob {
+		format = "gob"
+	}
+	log.Printf("%s (vocab %d, hidden %d) written as %s to %s", *in, v.Size(), m.Cfg.Hidden, format, *out)
+}
+
+// describe prints a snapshot container's version and section table.
+func describe(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if !snapshot.SniffMagic(data) {
+		return fmt.Errorf("%s is not a snapshot file (no %q magic); convert it first with -in/-out", path, snapshot.Magic)
+	}
+	s, err := snapshot.Decode(data)
+	if err != nil {
+		return fmt.Errorf("decode %s: %w", path, err)
+	}
+	fmt.Printf("%s: snapshot v%d, %d bytes, %d sections\n", path, s.Version(), len(data), len(s.Names()))
+	for _, name := range s.Names() {
+		payload, _ := s.Section(name)
+		fmt.Printf("  %-24s %d bytes\n", name, len(payload))
+	}
+	return nil
+}

@@ -1,9 +1,15 @@
 // Command wbtrain trains a Joint-WB model on the synthetic webpage corpus
-// and saves the model bundle (weights + vocabulary) for cmd/wbrief.
+// and saves the model bundle (weights + vocabulary) for cmd/wbrief and
+// cmd/wbserve.
 //
 // Usage:
 //
 //	wbtrain [-domains N] [-pages N] [-epochs N] [-hidden N] [-embdim N] [-seed N] [-workers N] -out model.bin
+//	wbtrain -format snapshot -out model.snap   # versioned binary snapshot instead of gob
+//
+// The snapshot format (internal/snapshot) is checksummed and cold-boots
+// faster than gob; every loader sniffs the format, so either encoding
+// works everywhere. Convert existing bundles with cmd/wbsnap.
 package main
 
 import (
@@ -28,8 +34,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "parallel training workers (0 = GOMAXPROCS, 1 = sequential)")
 	out := flag.String("out", "model.bin", "output model bundle path")
+	format := flag.String("format", "gob", "bundle encoding: gob (legacy) or snapshot (versioned binary, faster cold boot)")
 	export := flag.String("export", "", "also export the labelled dataset as JSONL to this path")
 	flag.Parse()
+	if *format != "gob" && *format != "snapshot" {
+		log.Fatalf("unknown -format %q (want gob or snapshot)", *format)
+	}
 
 	start := time.Now()
 	ds, err := corpus.Generate(corpus.Config{Seed: *seed, PagesPerDomain: *pages, SeenDomains: *domains, UnseenDomains: 0})
@@ -98,8 +108,13 @@ func main() {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	if err := wb.SaveJointWB(f, m, v); err != nil {
+	if *format == "snapshot" {
+		err = wb.SaveSnapshot(f, m, v)
+	} else {
+		err = wb.SaveJointWB(f, m, v)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("model bundle written to %s (total %v)", *out, time.Since(start).Round(time.Second))
+	log.Printf("model bundle written to %s as %s (total %v)", *out, *format, time.Since(start).Round(time.Second))
 }

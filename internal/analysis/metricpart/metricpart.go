@@ -1,20 +1,24 @@
-// Package metricpart defines a wbcheck pass keeping the /metrics
-// requests_total partition exact as outcome counters are added. It applies
-// to any package declaring a `Metrics` struct with a `Requests
-// atomic.Int64` field (internal/serve today) and enforces three clauses of
-// one contract:
+// Package metricpart defines a wbcheck pass keeping the /metrics total
+// partitions exact as outcome counters are added. It applies to any package
+// declaring a `Metrics` struct with a `Requests atomic.Int64` field
+// (internal/serve today) and enforces three clauses of one contract, for
+// each partition the struct carries (the partitions table below —
+// requests_total always, cache_lookups_total when the struct has a
+// CacheLookups counter):
 //
-//  1. the package declares a `requestOutcomeFields` registry — the string
-//     names of the atomic.Int64 Metrics fields that partition
-//     requests_total — and every registry entry names such a field;
-//  2. the snapshot struct's `Responses` field (what /metrics serves and the
-//     reconciliation tests sum) carries exactly the registered outcomes:
-//     nothing missing, nothing extra;
+//  1. the package declares the partition's registry — a []string of the
+//     atomic.Int64 Metrics field names that partition the total — and every
+//     registry entry names such a field;
+//  2. the snapshot struct's outcome block (what /metrics serves and the
+//     reconciliation tests sum: `Responses` for requests_total,
+//     `CacheOutcomes` for cache_lookups_total) carries exactly the
+//     registered outcomes: nothing missing, nothing extra;
 //  3. at every outcome site — a statement list that records a response
 //     status (assigns a `.Status` or calls http.Error/WriteHeader) — any
-//     Metrics counter bumped with .Add must be a registered outcome (or
-//     Requests itself). Bumping an unregistered counter where an outcome is
-//     decided is how the partition silently drifts from requests_total.
+//     Metrics counter bumped with .Add must be a registered outcome of some
+//     partition (or one of the totals). Bumping an unregistered counter
+//     where an outcome is decided is how a partition silently drifts from
+//     its total.
 //
 // Gauges and non-outcome counters (InFlight, Retries, batching totals) are
 // untouched: they are only checked where a status is being recorded.
@@ -31,23 +35,57 @@ import (
 // Analyzer implements the metricpart pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "metricpart",
-	Doc:  "atomic outcome counters on a Metrics struct must be registered in the requests_total partition (requestOutcomeFields) and mirrored in the Responses snapshot",
+	Doc:  "atomic outcome counters on a Metrics struct must be registered in their total's partition registry (requestOutcomeFields, cacheOutcomeFields) and mirrored in the matching snapshot block",
 	Run:  run,
 }
 
-const registryName = "requestOutcomeFields"
+// partitionSpec binds one exact-partition contract: the Metrics total
+// counter, the registry naming the outcome fields that partition it, and
+// the snapshot struct field mirroring those outcomes.
+type partitionSpec struct {
+	total    string // Metrics total field the outcomes must sum to
+	registry string // package-level []string registry variable
+	snapshot string // snapshot field carrying one field per outcome
+	metric   string // exported metric name, for report wording
+}
+
+// partitions lists the known contracts. A spec only applies when the
+// Metrics struct declares its total field, so packages without a cache
+// (or fixtures predating it) are not forced to carry an empty registry.
+var partitions = []partitionSpec{
+	{total: "Requests", registry: "requestOutcomeFields", snapshot: "Responses", metric: "requests_total"},
+	{total: "CacheLookups", registry: "cacheOutcomeFields", snapshot: "CacheOutcomes", metric: "cache_lookups_total"},
+}
 
 func run(pass *analysis.Pass) {
 	m := findMetrics(pass)
 	if m == nil {
 		return
 	}
-	registered := checkRegistry(pass, m)
-	if registered == nil {
-		return
+	// allowed accumulates every counter an outcome site may bump: the
+	// totals themselves plus all registered outcomes across partitions.
+	allowed := map[string]bool{}
+	complete := true
+	for _, spec := range partitions {
+		if _, ok := m.fields[spec.total]; !ok {
+			continue
+		}
+		allowed[spec.total] = true
+		registered := checkRegistry(pass, m, spec)
+		if registered == nil {
+			// The registry report is the actionable error; site checks
+			// would only cascade false positives on top of it.
+			complete = false
+			continue
+		}
+		checkSnapshot(pass, spec, registered)
+		for outcome := range registered {
+			allowed[outcome] = true
+		}
 	}
-	checkSnapshot(pass, registered)
-	checkOutcomeSites(pass, m, registered)
+	if complete {
+		checkOutcomeSites(pass, m, allowed)
+	}
 }
 
 // metricsInfo describes the package's Metrics struct.
@@ -92,23 +130,23 @@ func findMetrics(pass *analysis.Pass) *metricsInfo {
 	return nil
 }
 
-// checkRegistry finds the requestOutcomeFields string-slice literal and
+// checkRegistry finds the spec's string-slice registry literal and
 // validates every entry against the Metrics fields, returning the
 // registered set (nil when the registry itself is missing).
-func checkRegistry(pass *analysis.Pass, m *metricsInfo) map[string]bool {
+func checkRegistry(pass *analysis.Pass, m *metricsInfo, spec partitionSpec) map[string]bool {
 	for _, file := range pass.Files {
 		for _, d := range file.Decls {
 			gd, ok := d.(*ast.GenDecl)
 			if !ok {
 				continue
 			}
-			for _, spec := range gd.Specs {
-				vs, ok := spec.(*ast.ValueSpec)
+			for _, s := range gd.Specs {
+				vs, ok := s.(*ast.ValueSpec)
 				if !ok {
 					continue
 				}
 				for i, name := range vs.Names {
-					if name.Name != registryName || i >= len(vs.Values) {
+					if name.Name != spec.registry || i >= len(vs.Values) {
 						continue
 					}
 					lit, ok := vs.Values[i].(*ast.CompositeLit)
@@ -125,7 +163,7 @@ func checkRegistry(pass *analysis.Pass, m *metricsInfo) map[string]bool {
 						if _, isField := m.fields[outcome]; !isField {
 							// Not propagated to the snapshot expectation:
 							// one mistake, one report.
-							pass.Reportf(bl.Pos(), "requestOutcomeFields entry %q is not an atomic.Int64 field of Metrics", outcome)
+							pass.Reportf(bl.Pos(), "%s entry %q is not an atomic.Int64 field of Metrics", spec.registry, outcome)
 							continue
 						}
 						registered[outcome] = true
@@ -135,13 +173,13 @@ func checkRegistry(pass *analysis.Pass, m *metricsInfo) map[string]bool {
 			}
 		}
 	}
-	pass.Reportf(m.spec.Pos(), "Metrics partitions requests_total but the package has no %s registry; declare the outcome-field list so the partition is checkable", registryName)
+	pass.Reportf(m.spec.Pos(), "Metrics partitions %s but the package has no %s registry; declare the outcome-field list so the partition is checkable", spec.metric, spec.registry)
 	return nil
 }
 
-// checkSnapshot compares the inner fields of any struct field named
-// `Responses` against the registered outcomes.
-func checkSnapshot(pass *analysis.Pass, registered map[string]bool) {
+// checkSnapshot compares the inner fields of any struct field named after
+// the spec's snapshot block against the registered outcomes.
+func checkSnapshot(pass *analysis.Pass, spec partitionSpec, registered map[string]bool) {
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			st, ok := n.(*ast.StructType)
@@ -149,7 +187,7 @@ func checkSnapshot(pass *analysis.Pass, registered map[string]bool) {
 				return true
 			}
 			for _, f := range st.Fields.List {
-				if len(f.Names) != 1 || f.Names[0].Name != "Responses" {
+				if len(f.Names) != 1 || f.Names[0].Name != spec.snapshot {
 					continue
 				}
 				inner, ok := f.Type.(*ast.StructType)
@@ -161,13 +199,13 @@ func checkSnapshot(pass *analysis.Pass, registered map[string]bool) {
 					for _, name := range rf.Names {
 						present[name.Name] = true
 						if !registered[name.Name] {
-							pass.Reportf(name.Pos(), "Responses snapshot field %s is not a registered outcome; add it to %s or drop it", name.Name, registryName)
+							pass.Reportf(name.Pos(), "%s snapshot field %s is not a registered outcome; add it to %s or drop it", spec.snapshot, name.Name, spec.registry)
 						}
 					}
 				}
 				for _, outcome := range sortedKeys(registered) {
 					if !present[outcome] {
-						pass.Reportf(f.Names[0].Pos(), "registered outcome %s is missing from the Responses snapshot", outcome)
+						pass.Reportf(f.Names[0].Pos(), "registered outcome %s is missing from the %s snapshot", outcome, spec.snapshot)
 					}
 				}
 			}
@@ -176,9 +214,10 @@ func checkSnapshot(pass *analysis.Pass, registered map[string]bool) {
 	}
 }
 
-// checkOutcomeSites flags unregistered Metrics counter bumps in any
-// statement list that records a response status.
-func checkOutcomeSites(pass *analysis.Pass, m *metricsInfo, registered map[string]bool) {
+// checkOutcomeSites flags Metrics counter bumps outside the allowed set
+// (partition totals and registered outcomes) in any statement list that
+// records a response status.
+func checkOutcomeSites(pass *analysis.Pass, m *metricsInfo, allowed map[string]bool) {
 	for _, file := range pass.Files {
 		if pass.InTestFile(file.Pos()) {
 			continue
@@ -208,10 +247,10 @@ func checkOutcomeSites(pass *analysis.Pass, m *metricsInfo, registered map[strin
 					continue
 				}
 				field, ok := metricsAddField(pass, m, call)
-				if !ok || field == "Requests" || registered[field] {
+				if !ok || allowed[field] {
 					continue
 				}
-				pass.Reportf(call.Pos(), "outcome site bumps Metrics.%s, which is not registered in the requests_total partition; add %q to %s (and the Responses snapshot) or move the bump out of the outcome site", field, field, registryName)
+				pass.Reportf(call.Pos(), "outcome site bumps Metrics.%s, which is not registered in any metrics partition; add %q to its partition registry (and snapshot block) or move the bump out of the outcome site", field, field)
 			}
 			return true
 		})

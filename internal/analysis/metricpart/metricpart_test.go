@@ -10,3 +10,7 @@ import (
 func TestMetricpart(t *testing.T) {
 	analysistest.Run(t, metricpart.Analyzer, "./testdata/src/a")
 }
+
+func TestMetricpartCachePartition(t *testing.T) {
+	analysistest.Run(t, metricpart.Analyzer, "./testdata/src/cache")
+}

@@ -52,7 +52,7 @@ func HandleOK(m *Metrics, w http.ResponseWriter) {
 
 // Reject bumps an unregistered counter at an outcome site.
 func Reject(m *Metrics, w http.ResponseWriter) {
-	m.Teapot.Add(1) // want "not registered in the requests_total partition"
+	m.Teapot.Add(1) // want "not registered in any metrics partition"
 	http.Error(w, "teapot", http.StatusTeapot)
 }
 

@@ -1,0 +1,72 @@
+// Package cache is the two-partition metricpart fixture: a Metrics struct
+// carrying both a requests_total partition (clean) and a
+// cache_lookups_total partition with a stale registry entry, a snapshot
+// block drifted both ways, and an unregistered cache counter bumped at an
+// outcome site.
+package cache
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Metrics carries both totals, so both partition specs apply.
+type Metrics struct {
+	Requests atomic.Int64
+	OK       atomic.Int64
+
+	CacheLookups atomic.Int64
+	CacheHits    atomic.Int64
+	CacheMisses  atomic.Int64
+	CacheSkipped atomic.Int64 // cache outcome nobody registered
+}
+
+var requestOutcomeFields = []string{
+	"OK",
+}
+
+var cacheOutcomeFields = []string{
+	"CacheHits",
+	"CacheMisses",
+	"Phantom", // want "not an atomic.Int64 field"
+}
+
+type snapshot struct {
+	RequestsTotal int64 `json:"requests_total"`
+	Responses     struct {
+		OK int64 `json:"ok"`
+	} `json:"responses"`
+	Cache struct {
+		CacheLookups  int64    `json:"cache_lookups_total"`
+		CacheOutcomes struct { // want "registered outcome CacheMisses is missing"
+			CacheHits int64 `json:"cache_hits_total"`
+			Stray     int64 `json:"stray"` // want "not a registered outcome"
+		} `json:"outcomes"`
+	} `json:"cache"`
+}
+
+// Snapshot keeps the fixture types and fields referenced.
+func Snapshot(m *Metrics) snapshot {
+	var s snapshot
+	s.RequestsTotal = m.Requests.Load()
+	s.Responses.OK = m.OK.Load()
+	s.Cache.CacheLookups = m.CacheLookups.Load()
+	s.Cache.CacheOutcomes.CacheHits = m.CacheHits.Load() + m.CacheMisses.Load() + m.CacheSkipped.Load()
+	return s
+}
+
+// ServeHit bumps registered outcomes of both partitions where the status
+// is written: clean.
+func ServeHit(m *Metrics, w http.ResponseWriter) {
+	m.Requests.Add(1)
+	m.CacheLookups.Add(1)
+	m.CacheHits.Add(1)
+	m.OK.Add(1)
+	w.WriteHeader(http.StatusOK)
+}
+
+// ServeBypass bumps an unregistered cache counter at an outcome site.
+func ServeBypass(m *Metrics, w http.ResponseWriter) {
+	m.CacheSkipped.Add(1) // want "not registered in any metrics partition"
+	http.Error(w, "bypass", http.StatusServiceUnavailable)
+}

@@ -1,0 +1,333 @@
+package briefcache
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func key(s string) Key { return KeyOf([]byte(s)) }
+
+// TestCacheInsertLookup: content lookups return what was inserted, raw
+// lookups resolve through the alias, and the stored bytes are a stable
+// copy decoupled from the caller's (possibly pooled) buffer.
+func TestCacheInsertLookup(t *testing.T) {
+	c := New(Config{Capacity: 64, Shards: 4})
+	body := []byte("briefing body\n")
+	stable := c.Insert(key("content"), key("raw"), body, 0)
+	body[0] = 'X' // caller reuses its buffer
+
+	got, ok := c.Lookup(key("content"))
+	if !ok || string(got) != "briefing body\n" {
+		t.Fatalf("Lookup = %q, %v; want stable copy", got, ok)
+	}
+	if string(stable) != "briefing body\n" {
+		t.Fatalf("Insert returned unstable bytes %q", stable)
+	}
+	got, ok = c.LookupRaw(key("raw"))
+	if !ok || string(got) != "briefing body\n" {
+		t.Fatalf("LookupRaw = %q, %v", got, ok)
+	}
+	if _, ok := c.Lookup(key("missing")); ok {
+		t.Fatal("Lookup(missing) hit")
+	}
+	if _, ok := c.LookupRaw(key("missing")); ok {
+		t.Fatal("LookupRaw(missing) hit")
+	}
+	// A raw lookup with a content key (and vice versa) is a miss, not a
+	// type confusion.
+	if _, ok := c.LookupRaw(key("content")); ok {
+		t.Fatal("LookupRaw(content key) hit")
+	}
+	if _, ok := c.Lookup(key("raw")); ok {
+		t.Fatal("Lookup(alias key) hit")
+	}
+}
+
+// TestCacheLRUEviction: a single-shard cache evicts strictly least
+// recently used, and evictions are counted.
+func TestCacheLRUEviction(t *testing.T) {
+	c := New(Config{Capacity: 3, Shards: 1})
+	for i := 0; i < 3; i++ {
+		k := key(fmt.Sprintf("c%d", i))
+		c.Insert(k, k, []byte{byte(i)}, 0) // raw == content: no alias entry
+	}
+	// Touch c0 so c1 is now the LRU.
+	if _, ok := c.Lookup(key("c0")); !ok {
+		t.Fatal("c0 missing before eviction")
+	}
+	c.Insert(key("c3"), key("c3"), []byte{3}, 0)
+	if _, ok := c.Lookup(key("c1")); ok {
+		t.Fatal("c1 should have been evicted as LRU")
+	}
+	for _, name := range []string{"c0", "c2", "c3"} {
+		if _, ok := c.Lookup(key(name)); !ok {
+			t.Fatalf("%s should have survived", name)
+		}
+	}
+	if c.Evictions() != 1 {
+		t.Fatalf("Evictions() = %d, want 1", c.Evictions())
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", c.Len())
+	}
+}
+
+// TestCacheTTLExpiry: expired entries read as misses and are removed;
+// aliases inherit the content entry's expiry.
+func TestCacheTTLExpiry(t *testing.T) {
+	c := New(Config{Capacity: 16, Shards: 1, DefaultTTL: time.Hour})
+	c.Insert(key("content"), key("raw"), []byte("x"), 5*time.Millisecond)
+	if _, ok := c.Lookup(key("content")); !ok {
+		t.Fatal("fresh entry should hit")
+	}
+	time.Sleep(10 * time.Millisecond)
+	if _, ok := c.Lookup(key("content")); ok {
+		t.Fatal("expired content entry should miss")
+	}
+	if _, ok := c.LookupRaw(key("raw")); ok {
+		t.Fatal("alias to expired entry should miss")
+	}
+
+	// ttl <= 0 on Insert means no expiry, regardless of DefaultTTL —
+	// resolution happens in TTLFor, not Insert.
+	c.Insert(key("forever"), key("rawforever"), []byte("y"), 0)
+	time.Sleep(2 * time.Millisecond)
+	if _, ok := c.Lookup(key("forever")); !ok {
+		t.Fatal("no-expiry entry should hit")
+	}
+}
+
+// TestCacheAliasDangling: an alias whose content entry was evicted
+// resolves to a miss, and Alias refuses to point at missing entries.
+func TestCacheAliasDangling(t *testing.T) {
+	c := New(Config{Capacity: 64, Shards: 1})
+	c.Insert(key("content"), key("raw"), []byte("x"), 0)
+	// Evict the content entry by direct removal via capacity pressure.
+	sh := c.shardOf(key("content"))
+	sh.mu.Lock()
+	sh.remove(sh.entries[key("content")])
+	sh.mu.Unlock()
+	if _, ok := c.LookupRaw(key("raw")); ok {
+		t.Fatal("alias to evicted content should miss")
+	}
+	c.Alias(key("raw2"), key("nosuch"))
+	if _, ok := c.LookupRaw(key("raw2")); ok {
+		t.Fatal("alias to missing content should not be recorded")
+	}
+}
+
+// TestCacheTTLFor: policy class TTL, then policy default, then cache
+// default.
+func TestCacheTTLFor(t *testing.T) {
+	p := NewPolicy(
+		[]string{"deny.example.com"},
+		[]TTLRule{{TTL: time.Second, Domains: []string{"fast.example.com"}}},
+		time.Minute,
+	)
+	c := New(Config{DefaultTTL: time.Hour, Policy: p})
+	if got := c.TTLFor("live.fast.example.com"); got != time.Second {
+		t.Errorf("class TTL = %v, want 1s", got)
+	}
+	if got := c.TTLFor("other.example.com"); got != time.Minute {
+		t.Errorf("policy default TTL = %v, want 1m", got)
+	}
+	if !c.Admit("other.example.com") || c.Admit("sub.deny.example.com") {
+		t.Error("admission policy not applied")
+	}
+
+	// No policy: cache default rules.
+	c2 := New(Config{DefaultTTL: time.Hour})
+	if got := c2.TTLFor("anything"); got != time.Hour {
+		t.Errorf("cache default TTL = %v, want 1h", got)
+	}
+	if !c2.Admit("anything") {
+		t.Error("nil policy must admit")
+	}
+}
+
+// TestCacheLookupAllocFree gates the hot path: both lookup flavors must be
+// allocation-free — the cache-hit acceptance criterion.
+func TestCacheLookupAllocFree(t *testing.T) {
+	c := New(Config{Capacity: 128})
+	content, raw := key("content"), key("raw")
+	c.Insert(content, raw, []byte("body"), time.Hour)
+	if n := testing.AllocsPerRun(200, func() {
+		if _, ok := c.Lookup(content); !ok {
+			t.Fatal("miss")
+		}
+	}); n != 0 {
+		t.Errorf("Lookup allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, ok := c.LookupRaw(raw); !ok {
+			t.Fatal("miss")
+		}
+	}); n != 0 {
+		t.Errorf("LookupRaw allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		_ = KeyOf([]byte("body bytes to hash"))
+	}); n != 0 {
+		t.Errorf("KeyOf allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestFlightWinnerLoser: first Begin wins, losers wait and read the
+// winner's value, and the flight is gone from the table after settling.
+func TestFlightWinnerLoser(t *testing.T) {
+	c := New(Config{})
+	k := key("flight")
+	f, winner := c.BeginFlight(k)
+	if !winner {
+		t.Fatal("first BeginFlight must win")
+	}
+	f2, winner2 := c.BeginFlight(k)
+	if winner2 || f2 != f {
+		t.Fatal("second BeginFlight must join the first flight")
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, abandoned, err := f2.Wait(context.Background())
+		if err != nil || abandoned || v.(string) != "result" {
+			t.Errorf("Wait = %v, %v, %v", v, abandoned, err)
+		}
+	}()
+	f.Complete("result")
+	<-done
+
+	// Settled flights leave the table: a new Begin wins a fresh flight.
+	f3, winner3 := c.BeginFlight(k)
+	if !winner3 || f3 == f {
+		t.Fatal("settled flight must be removed from the table")
+	}
+	f3.Abandon()
+}
+
+// TestFlightAbandonIdempotent: Abandon after Complete is a no-op, so a
+// deferred Abandon can back-stop the winner's exits; double Complete keeps
+// the first value.
+func TestFlightAbandonIdempotent(t *testing.T) {
+	c := New(Config{})
+	f, _ := c.BeginFlight(key("k"))
+	f.Complete("first")
+	f.Abandon()
+	f.Complete("second")
+	v, abandoned, err := f.Wait(context.Background())
+	if err != nil || abandoned || v.(string) != "first" {
+		t.Fatalf("Wait = %v, %v, %v; want first,false,nil", v, abandoned, err)
+	}
+
+	// Pure abandon wakes waiters with no value.
+	f2, _ := c.BeginFlight(key("k2"))
+	go f2.Abandon()
+	v, abandoned, err = f2.Wait(context.Background())
+	if err != nil || !abandoned || v != nil {
+		t.Fatalf("abandoned Wait = %v, %v, %v", v, abandoned, err)
+	}
+}
+
+// TestFlightWaitHonorsContext: a loser's own deadline wins over a stuck
+// winner.
+func TestFlightWaitHonorsContext(t *testing.T) {
+	c := New(Config{})
+	f, _ := c.BeginFlight(key("stuck"))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, _, err := f.Wait(ctx)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("Wait err = %v, want DeadlineExceeded", err)
+	}
+	f.Abandon()
+}
+
+// TestFlightHerdComputesOnce is the cache-level thundering-herd property:
+// N concurrent goroutines racing one cold key produce exactly one winner,
+// and every loser reads the winner's bytes.
+func TestFlightHerdComputesOnce(t *testing.T) {
+	c := New(Config{Capacity: 64})
+	const n = 32
+	k := key("cold")
+	var computed atomic.Int64
+	var winners atomic.Int64
+	results := make([]string, n)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			for {
+				if b, ok := c.Lookup(k); ok {
+					results[i] = string(b)
+					return
+				}
+				f, winner := c.BeginFlight(k)
+				if winner {
+					winners.Add(1)
+					computed.Add(1) // the expensive compute, exactly once
+					body := c.Insert(k, key("raw-cold"), []byte("computed"), 0)
+					f.Complete(string(body))
+					results[i] = string(body)
+					return
+				}
+				v, abandoned, err := f.Wait(context.Background())
+				if err != nil {
+					t.Errorf("waiter %d: %v", i, err)
+					return
+				}
+				if abandoned {
+					continue
+				}
+				results[i] = v.(string)
+				return
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if computed.Load() != 1 || winners.Load() != 1 {
+		t.Fatalf("computed %d times with %d winners, want exactly 1", computed.Load(), winners.Load())
+	}
+	for i, r := range results {
+		if r != "computed" {
+			t.Fatalf("goroutine %d got %q", i, r)
+		}
+	}
+}
+
+// TestCacheConcurrentChurn hammers one small cache from many goroutines
+// under -race: inserts, lookups, aliases and evictions must stay
+// internally consistent.
+func TestCacheConcurrentChurn(t *testing.T) {
+	c := New(Config{Capacity: 32, Shards: 4, DefaultTTL: time.Hour})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := key(fmt.Sprintf("k%d", (g*31+i)%48))
+				r := key(fmt.Sprintf("r%d", (g*31+i)%48))
+				switch i % 3 {
+				case 0:
+					c.Insert(k, r, []byte("v"), time.Hour)
+				case 1:
+					c.Lookup(k)
+				default:
+					c.LookupRaw(r)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 32 {
+		t.Fatalf("Len() = %d exceeds capacity 32", c.Len())
+	}
+}

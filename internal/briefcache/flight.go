@@ -1,0 +1,81 @@
+package briefcache
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Flight coalesces concurrent computations of one cold content key: the
+// first caller to Begin a key becomes the winner and computes the
+// briefing; every later caller becomes a loser and Waits for the winner's
+// result instead of checking out a replica of its own. A thundering herd
+// on a cold key therefore computes exactly once.
+//
+// The winner must settle the flight exactly once, with Complete (publish a
+// result to the waiters) or Abandon (the winner could not finish — its own
+// deadline expired, or it was shed by admission control; waiters should
+// retry). Settling is idempotent, so a deferred Abandon is a safe backstop
+// behind a Complete on the success path.
+type Flight struct {
+	c       *Cache
+	key     Key
+	done    chan struct{}
+	settled atomic.Bool
+
+	// Written by the winner before close(done); read by waiters after.
+	val       any
+	abandoned bool
+}
+
+// BeginFlight joins the in-flight computation for a content key, creating
+// it if none exists. The second result is true for the winner (the caller
+// that must compute and settle) and false for losers (who should Wait).
+func (c *Cache) BeginFlight(key Key) (*Flight, bool) {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	if f, ok := sh.flights[key]; ok {
+		sh.mu.Unlock()
+		return f, false
+	}
+	f := &Flight{c: c, key: key, done: make(chan struct{})}
+	sh.flights[key] = f
+	sh.mu.Unlock()
+	return f, true
+}
+
+// settle publishes the outcome and wakes every waiter, exactly once.
+func (f *Flight) settle(val any, abandoned bool) {
+	if !f.settled.CompareAndSwap(false, true) {
+		return
+	}
+	sh := f.c.shardOf(f.key)
+	sh.mu.Lock()
+	delete(sh.flights, f.key)
+	sh.mu.Unlock()
+	f.val = val
+	f.abandoned = abandoned
+	close(f.done)
+}
+
+// Complete publishes the winner's result to every waiter. val is opaque to
+// the cache — the serving layer passes its response bytes or terminal
+// outcome.
+func (f *Flight) Complete(val any) { f.settle(val, false) }
+
+// Abandon wakes waiters with no result; each should retry the lookup
+// (typically coalescing onto a new flight). A no-op after Complete, so it
+// can back-stop every winner exit path.
+func (f *Flight) Abandon() { f.settle(nil, true) }
+
+// Wait blocks until the flight settles or ctx is done. It returns the
+// published value, whether the flight was abandoned, and ctx's error if
+// the caller's own deadline won the race — losers honor their own
+// deadlines, not the winner's.
+func (f *Flight) Wait(ctx context.Context) (val any, abandoned bool, err error) {
+	select {
+	case <-f.done:
+		return f.val, f.abandoned, nil
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}

@@ -1,0 +1,86 @@
+package briefcache
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParsePolicy: the file format round-trips into the expected
+// admission and TTL decisions, first-matching-class-wins.
+func TestParsePolicy(t *testing.T) {
+	p, err := ParsePolicy(strings.NewReader(`
+# test policy
+deny tracker.example.com ads.example.net
+
+ttl 30s news.example.com live.example.org
+ttl 1h  news.example.com docs.example.com
+default 5m
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	admit := []struct {
+		domain string
+		want   bool
+	}{
+		{"example.com", true},
+		{"tracker.example.com", false},
+		{"pix.tracker.example.com", false},
+		{"ads.example.net", false},
+		{"news.example.com", true},
+		{"", true}, // unattributed requests are admitted
+	}
+	for _, tc := range admit {
+		if got := p.Admit(tc.domain); got != tc.want {
+			t.Errorf("Admit(%q) = %v, want %v", tc.domain, got, tc.want)
+		}
+	}
+
+	ttl := []struct {
+		domain string
+		want   time.Duration
+	}{
+		{"news.example.com", 30 * time.Second}, // first class wins
+		{"live.example.org", 30 * time.Second},
+		{"docs.example.com", time.Hour},
+		{"other.example.com", 5 * time.Minute}, // default
+		{"", 5 * time.Minute},
+	}
+	for _, tc := range ttl {
+		if got := p.TTL(tc.domain); got != tc.want {
+			t.Errorf("TTL(%q) = %v, want %v", tc.domain, got, tc.want)
+		}
+	}
+}
+
+// TestParsePolicyErrors: malformed lines fail with the line number.
+func TestParsePolicyErrors(t *testing.T) {
+	bad := []string{
+		"deny",
+		"ttl 30s",
+		"ttl notaduration example.com",
+		"ttl -5s example.com",
+		"default",
+		"default 1h 2h",
+		"default nope",
+		"cache example.com",
+	}
+	for _, line := range bad {
+		if _, err := ParsePolicy(strings.NewReader(line)); err == nil {
+			t.Errorf("ParsePolicy(%q) succeeded, want error", line)
+		}
+	}
+}
+
+// TestNilPolicy: the nil policy admits everything and defers TTL.
+func TestNilPolicy(t *testing.T) {
+	var p *Policy
+	if !p.Admit("anything.example.com") {
+		t.Error("nil policy must admit")
+	}
+	if p.TTL("anything.example.com") != 0 {
+		t.Error("nil policy must defer TTL")
+	}
+}

@@ -60,7 +60,10 @@ func (it *batchItem) deliver(o pipelineOutcome) {
 // request for the dispatcher and wait for its outcome or the context. The
 // batchCh buffer is the admission queue (same depth as the serial path's
 // queueSlots); a full channel sheds with 429 exactly like a full queue.
-func (s *Server) briefBatched(w http.ResponseWriter, lg *accessEntry, ctx context.Context, body []byte) {
+// fill is the request's cache-fill obligation (nil when caching is off or
+// the request bypassed the cache); shed and expired exits leave it to the
+// caller's deferred abandon.
+func (s *Server) briefBatched(w http.ResponseWriter, lg *accessEntry, ctx context.Context, body []byte, fill *cacheFill) {
 	m := s.metrics
 	it := &batchItem{
 		ctx:      ctx,
@@ -99,7 +102,7 @@ func (s *Server) briefBatched(w http.ResponseWriter, lg *accessEntry, ctx contex
 	case res := <-it.result:
 		m.QueueWait.Observe(res.queueWait)
 		lg.QueueMS = roundMS(res.queueWait)
-		s.respondOutcome(w, lg, res.o)
+		s.respondOutcome(w, lg, res.o, fill)
 	case <-ctx.Done():
 		// The executor skips or ctxErr-delivers expired items; this
 		// request's slot in the batch cannot poison its batchmates.

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"time"
+
+	"webbrief/internal/briefcache"
+	"webbrief/internal/htmldom"
+)
+
+// This file interposes the content-addressed briefing cache between
+// admission and the batch scheduler / replica pool. A cache hit is served
+// straight from memory — no replica checkout, no batching, no admission
+// queue — and the miss path falls through byte-identical to the uncached
+// server. Misses on the same cold content key coalesce through
+// briefcache.Flight, so a thundering herd computes one briefing.
+//
+// Keying is two-level (see briefcache): the raw key is the SHA-256 of the
+// request body as posted, the content key the SHA-256 of the page's
+// rendered visible text. Repeat posts of identical bytes hit the raw alias
+// without parsing; posts of different bytes that render to the same
+// visible text (markup churn, attribute noise) parse once, hit the content
+// entry, and leave an alias for next time.
+//
+// Cache counters follow the same exact-partition discipline as
+// requests_total: every request that consults the cache is counted in
+// cache_lookups_total and in exactly one of cache_hits_total,
+// cache_misses_total (flight winners) or cache_coalesced_total (flight
+// losers), assigned at first decision — a loser that retries after an
+// abandoned flight stays a coalesced request no matter how it is
+// eventually served.
+
+// cacheFill carries a miss-path request's fill obligation: the flight it
+// won plus the keys and TTL its eventual response should be stored under.
+// Exactly one of Complete (via respondOutcome) or Abandon settles the
+// flight; abandon is a deferred backstop on every handler exit.
+type cacheFill struct {
+	flight  *briefcache.Flight
+	content briefcache.Key
+	raw     briefcache.Key
+	ttl     time.Duration
+}
+
+// abandon settles the flight as abandoned if nothing else settled it
+// first — waiters retry rather than hang when the winner bails out on a
+// panic, shed, or client disconnect.
+func (f *cacheFill) abandon() {
+	if f != nil {
+		f.flight.Abandon()
+	}
+}
+
+// flightResult is the value a winner publishes: the exact response bytes
+// on success, or the terminal failure outcome (422, replica failure) the
+// losers should replay.
+type flightResult struct {
+	body []byte
+	o    pipelineOutcome
+}
+
+// cacheDomain extracts the page's source domain from the optional ?src=
+// query parameter — the admission/TTL policy key. The parameter accepts a
+// bare domain or a URL; empty means unattributed, which policies admit.
+// The RawQuery gate keeps the common no-query request allocation-free.
+func cacheDomain(r *http.Request) string {
+	if r.URL.RawQuery == "" {
+		return ""
+	}
+	src := r.URL.Query().Get("src")
+	if src == "" {
+		return ""
+	}
+	if i := strings.Index(src, "://"); i >= 0 {
+		src = src[i+3:]
+	}
+	if i := strings.IndexAny(src, "/?#"); i >= 0 {
+		src = src[:i]
+	}
+	if i := strings.LastIndexByte(src, ':'); i >= 0 && !strings.Contains(src[i:], "]") {
+		src = src[:i] // host:port (a colon inside [v6] brackets is not a port)
+	}
+	return briefcache.NormalizeDomain(src)
+}
+
+// cacheServe runs the cache stage for one admitted POST. It returns
+// (nil, false) when the request bypasses the cache (denied domain, pages
+// with no visible text), (nil, true) when the response was fully served
+// from cache or a coalesced flight, and (fill, false) for a miss this
+// request must compute: the caller proceeds down the normal pipeline and
+// hands fill to respondOutcome, with fill.abandon deferred as backstop.
+func (s *Server) cacheServe(w http.ResponseWriter, lg *accessEntry, ctx context.Context, r *http.Request, body []byte) (*cacheFill, bool) {
+	c := s.cache
+	m := s.metrics
+	domain := cacheDomain(r)
+	if !c.Admit(domain) {
+		return nil, false
+	}
+	start := time.Now()
+
+	// Level 1: raw bytes. Allocation-free — no parse, one SHA-256.
+	rawKey := briefcache.KeyOf(body)
+	if out, ok := c.LookupRaw(rawKey); ok {
+		m.CacheLookups.Add(1)
+		m.CacheHits.Add(1)
+		s.writeCached(w, lg, out)
+		m.CacheHitLatency.observe(cacheHitBucketsNS, time.Since(start))
+		return nil, true
+	}
+
+	// Level 2: rendered visible text. Pages that render to nothing bypass
+	// the cache — the pipeline's 422 stays authoritative for those.
+	visible := htmldom.VisibleText(htmldom.Parse(string(body)))
+	if strings.TrimSpace(visible) == "" {
+		return nil, false
+	}
+	contentKey := briefcache.KeyOf([]byte(visible))
+	if out, ok := c.Lookup(contentKey); ok {
+		m.CacheLookups.Add(1)
+		m.CacheHits.Add(1)
+		c.Alias(rawKey, contentKey) // next identical post skips the parse
+		s.writeCached(w, lg, out)
+		m.CacheHitLatency.observe(cacheHitBucketsNS, time.Since(start))
+		return nil, true
+	}
+
+	// Miss: win the flight and compute, or coalesce onto the winner. The
+	// partition counter is assigned at the first decision and never again,
+	// so retries after an abandoned flight don't double-count.
+	m.CacheLookups.Add(1)
+	counted := false
+	for {
+		f, winner := c.BeginFlight(contentKey)
+		if winner {
+			if !counted {
+				m.CacheMisses.Add(1)
+			}
+			return &cacheFill{flight: f, content: contentKey, raw: rawKey, ttl: c.TTLFor(domain)}, false
+		}
+		if !counted {
+			m.CacheCoalesced.Add(1)
+			counted = true
+		}
+		v, abandoned, err := f.Wait(ctx)
+		if err != nil {
+			s.failCtx(w, lg, err)
+			return nil, true
+		}
+		if abandoned {
+			// The winner bailed without a result. Re-check the cache (it
+			// may have filled) and race for the next flight.
+			if out, ok := c.Lookup(contentKey); ok {
+				s.writeCached(w, lg, out)
+				return nil, true
+			}
+			continue
+		}
+		res := v.(flightResult)
+		if res.body != nil {
+			s.writeCached(w, lg, res.body)
+			return nil, true
+		}
+		// Terminal failure: replay the winner's outcome.
+		s.respondOutcome(w, lg, res.o, nil)
+		return nil, true
+	}
+}
+
+// writeCached serves cached response bytes: the same headers, status and
+// body the miss path wrote when it filled the entry.
+func (s *Server) writeCached(w http.ResponseWriter, lg *accessEntry, out []byte) {
+	m := s.metrics
+	m.OK.Add(1)
+	lg.Status = http.StatusOK
+	lg.BytesOut = len(out)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
+}

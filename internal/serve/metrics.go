@@ -3,6 +3,8 @@ package serve
 import (
 	"sync/atomic"
 	"time"
+
+	"webbrief/internal/briefcache"
 )
 
 // latencyBucketsMS are the fixed histogram bucket upper bounds, in
@@ -64,19 +66,33 @@ var batchWaitBucketsNS = []int64{
 	20_000_000, 50_000_000, 100_000_000,
 }
 
-// nsHistogram is a fixed-bucket nanosecond histogram (batch waits), same
-// lock-free observation discipline as histogram.
+// cacheHitBucketsNS are the cache-hit latency bucket upper bounds, in
+// nanoseconds: 1µs–10ms. A hit is one or two SHA-256s plus a shard-locked
+// map probe, an order of magnitude below even the batch-wait scale, so it
+// gets its own buckets on the shared nsHistogram machinery.
+var cacheHitBucketsNS = []int64{
+	1_000, 2_000, 5_000, 10_000,
+	20_000, 50_000, 100_000, 200_000,
+	500_000, 1_000_000, 10_000_000,
+}
+
+// nsHistogram is a fixed-bucket nanosecond histogram, same lock-free
+// observation discipline as histogram. The bucket bounds are supplied per
+// call site (observe/snapshotWith), so one struct serves both the
+// batch-wait and cache-hit scales; Observe/snapshot keep the original
+// batch-wait binding.
 type nsHistogram struct {
-	counts [12]atomic.Int64 // len(batchWaitBucketsNS) + overflow
+	counts [12]atomic.Int64 // len(bucket slice) + overflow
 	count  atomic.Int64
 	sumNS  atomic.Int64
 }
 
-// Observe records one duration.
-func (h *nsHistogram) Observe(d time.Duration) {
+// observe records one duration against explicit bucket bounds (which must
+// have len(counts)-1 entries and be used consistently for one histogram).
+func (h *nsHistogram) observe(buckets []int64, d time.Duration) {
 	ns := d.Nanoseconds()
 	i := 0
-	for i < len(batchWaitBucketsNS) && ns > batchWaitBucketsNS[i] {
+	for i < len(buckets) && ns > buckets[i] {
 		i++
 	}
 	h.counts[i].Add(1)
@@ -84,10 +100,14 @@ func (h *nsHistogram) Observe(d time.Duration) {
 	h.sumNS.Add(ns)
 }
 
-// snapshot renders the histogram for /metrics.
-func (h *nsHistogram) snapshot() nsHistogramSnapshot {
+// Observe records one batch-wait duration.
+func (h *nsHistogram) Observe(d time.Duration) { h.observe(batchWaitBucketsNS, d) }
+
+// snapshotWith renders the histogram for /metrics against the bucket
+// bounds it was observed with.
+func (h *nsHistogram) snapshotWith(buckets []int64) nsHistogramSnapshot {
 	s := nsHistogramSnapshot{
-		BucketsNS: batchWaitBucketsNS,
+		BucketsNS: buckets,
 		Counts:    make([]int64, len(h.counts)),
 		Count:     h.count.Load(),
 		SumNS:     h.sumNS.Load(),
@@ -97,6 +117,9 @@ func (h *nsHistogram) snapshot() nsHistogramSnapshot {
 	}
 	return s
 }
+
+// snapshot renders a batch-wait histogram.
+func (h *nsHistogram) snapshot() nsHistogramSnapshot { return h.snapshotWith(batchWaitBucketsNS) }
 
 // nsHistogramSnapshot is the JSON form of one nanosecond histogram.
 type nsHistogramSnapshot struct {
@@ -190,10 +213,22 @@ type Metrics struct {
 	// partition batches, not requests: the requests_total outcome partition
 	// above stays exact because every batched request still ends in exactly
 	// one per-request outcome.
-	BatchesTotal      atomic.Int64 // micro-batches dispatched (batches_total)
-	CoalescedRequests atomic.Int64 // requests served in batches of size ≥ 2
+	BatchesTotal      atomic.Int64  // micro-batches dispatched (batches_total)
+	CoalescedRequests atomic.Int64  // requests served in batches of size ≥ 2
 	BatchSize         sizeHistogram // requests per dispatched batch
 	BatchWait         nsHistogram   // enqueue → batch dispatch, per request
+
+	// Cache counters, populated only when the briefing cache is enabled.
+	// CacheLookups counts every request that consulted the cache, and the
+	// three outcome counters partition it exactly (cacheOutcomeFields):
+	// each consulting request is a hit, a miss (flight winner) or a
+	// coalesced waiter, assigned once at first decision. Evictions live on
+	// the cache itself and are read at snapshot time.
+	CacheLookups    atomic.Int64 // cache_lookups_total
+	CacheHits       atomic.Int64 // served from cache, no replica checkout
+	CacheMisses     atomic.Int64 // flight winners that computed the briefing
+	CacheCoalesced  atomic.Int64 // waiters served by a winner's flight
+	CacheHitLatency nsHistogram  // lookup start → hit response written (cacheHitBucketsNS)
 }
 
 // requestOutcomeFields names the Metrics counters that partition
@@ -215,6 +250,16 @@ var requestOutcomeFields = []string{
 	"Canceled",
 	"Draining",
 	"ReplicaFailure",
+}
+
+// cacheOutcomeFields names the counters that partition
+// cache_lookups_total: every request that consults the cache ends in
+// exactly one of them. Enforced by the same wbcheck metricpart pass and
+// runtime reflection test as requestOutcomeFields.
+var cacheOutcomeFields = []string{
+	"CacheHits",
+	"CacheMisses",
+	"CacheCoalesced",
 }
 
 // metricsSnapshot is the JSON document served at /metrics. Struct (not
@@ -264,11 +309,25 @@ type metricsSnapshot struct {
 		BatchSize              sizeHistogramSnapshot `json:"batch_size"`
 		BatchWaitNS            nsHistogramSnapshot   `json:"batch_wait_ns"`
 	} `json:"batching"`
+	Cache struct {
+		Enabled       bool  `json:"enabled"`
+		CacheLookups  int64 `json:"cache_lookups_total"`
+		CacheOutcomes struct {
+			CacheHits      int64 `json:"cache_hits_total"`
+			CacheMisses    int64 `json:"cache_misses_total"`
+			CacheCoalesced int64 `json:"cache_coalesced_total"`
+		} `json:"outcomes"`
+		Evictions    int64               `json:"cache_evictions_total"`
+		Entries      int                 `json:"entries"`
+		HitLatencyNS nsHistogramSnapshot `json:"hit_latency_ns"`
+	} `json:"cache"`
 }
 
 // snapshot collects a point-in-time view of every counter. batching flags
-// whether the server dispatches through the micro-batch scheduler.
-func (m *Metrics) snapshot(pool *Pool, batching bool) metricsSnapshot {
+// whether the server dispatches through the micro-batch scheduler; cache
+// is the briefing cache (nil when disabled), read for eviction and
+// occupancy figures.
+func (m *Metrics) snapshot(pool *Pool, batching bool, cache *briefcache.Cache) metricsSnapshot {
 	var s metricsSnapshot
 	s.RequestsTotal = m.Requests.Load()
 	s.Responses.OK = m.OK.Load()
@@ -305,5 +364,15 @@ func (m *Metrics) snapshot(pool *Pool, batching bool) metricsSnapshot {
 	s.Batching.CoalescedRequestsTotal = m.CoalescedRequests.Load()
 	s.Batching.BatchSize = m.BatchSize.snapshot()
 	s.Batching.BatchWaitNS = m.BatchWait.snapshot()
+	s.Cache.Enabled = cache != nil
+	s.Cache.CacheLookups = m.CacheLookups.Load()
+	s.Cache.CacheOutcomes.CacheHits = m.CacheHits.Load()
+	s.Cache.CacheOutcomes.CacheMisses = m.CacheMisses.Load()
+	s.Cache.CacheOutcomes.CacheCoalesced = m.CacheCoalesced.Load()
+	if cache != nil {
+		s.Cache.Evictions = cache.Evictions()
+		s.Cache.Entries = cache.Len()
+	}
+	s.Cache.HitLatencyNS = m.CacheHitLatency.snapshotWith(cacheHitBucketsNS)
 	return s
 }

@@ -13,18 +13,37 @@ import (
 // extra. A drift here means /metrics sums would stop reconciling with
 // requests_total.
 func TestRequestOutcomeFieldsReconcile(t *testing.T) {
+	checkOutcomePartition(t, requestOutcomeFields, "requestOutcomeFields", "Responses", reflect.TypeOf(metricsSnapshot{}))
+}
+
+// TestCacheOutcomeFieldsReconcile is the same three-way check for the
+// cache_lookups_total partition: cacheOutcomeFields, the Metrics counters,
+// and the Cache.CacheOutcomes snapshot block must agree exactly.
+func TestCacheOutcomeFieldsReconcile(t *testing.T) {
+	cacheField, ok := reflect.TypeOf(metricsSnapshot{}).FieldByName("Cache")
+	if !ok {
+		t.Fatal("metricsSnapshot has no Cache field")
+	}
+	checkOutcomePartition(t, cacheOutcomeFields, "cacheOutcomeFields", "CacheOutcomes", cacheField.Type)
+}
+
+// checkOutcomePartition verifies one partition registry: every registered
+// name is an atomic.Int64 Metrics field, and the named snapshot struct
+// carries exactly one field per registered outcome.
+func checkOutcomePartition(t *testing.T, registry []string, registryName, snapshotField string, container reflect.Type) {
+	t.Helper()
 	atomicInt64 := reflect.TypeOf(atomic.Int64{})
 	metricsType := reflect.TypeOf(Metrics{})
 
 	registered := map[string]bool{}
-	for _, name := range requestOutcomeFields {
+	for _, name := range registry {
 		if registered[name] {
-			t.Errorf("requestOutcomeFields lists %s twice", name)
+			t.Errorf("%s lists %s twice", registryName, name)
 		}
 		registered[name] = true
 		field, ok := metricsType.FieldByName(name)
 		if !ok {
-			t.Errorf("requestOutcomeFields entry %s is not a Metrics field", name)
+			t.Errorf("%s entry %s is not a Metrics field", registryName, name)
 			continue
 		}
 		if field.Type != atomicInt64 {
@@ -32,21 +51,21 @@ func TestRequestOutcomeFieldsReconcile(t *testing.T) {
 		}
 	}
 
-	responses, ok := reflect.TypeOf(metricsSnapshot{}).FieldByName("Responses")
+	outcomes, ok := container.FieldByName(snapshotField)
 	if !ok {
-		t.Fatal("metricsSnapshot has no Responses field")
+		t.Fatalf("snapshot has no %s field", snapshotField)
 	}
 	seen := map[string]bool{}
-	for i := 0; i < responses.Type.NumField(); i++ {
-		name := responses.Type.Field(i).Name
+	for i := 0; i < outcomes.Type.NumField(); i++ {
+		name := outcomes.Type.Field(i).Name
 		seen[name] = true
 		if !registered[name] {
-			t.Errorf("Responses snapshot field %s is not in requestOutcomeFields", name)
+			t.Errorf("%s snapshot field %s is not in %s", snapshotField, name, registryName)
 		}
 	}
 	for name := range registered {
 		if !seen[name] {
-			t.Errorf("registered outcome %s is missing from the Responses snapshot", name)
+			t.Errorf("registered outcome %s is missing from the %s snapshot", name, snapshotField)
 		}
 	}
 }

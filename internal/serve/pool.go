@@ -158,9 +158,11 @@ type Pool struct {
 }
 
 // NewPool builds n replicas of m (0 → GOMAXPROCS): the original model plus
-// n-1 wb.CloneForServing copies that share only the read-only embedding
-// table. beam and maxTokens configure each replica exactly like
-// wb.NewBriefer, so pooled briefings are identical to the serial path's.
+// n-1 serving clones that share only the read-only embedding table. The
+// clones come from one wb.CloneManyForServing call, so the model is
+// snapshot-encoded once, not once per replica. beam and maxTokens configure
+// each replica exactly like wb.NewBriefer, so pooled briefings are
+// identical to the serial path's.
 func NewPool(m *wb.JointWB, v *textproc.Vocab, n, beam, maxTokens int) (*Pool, error) {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
@@ -171,15 +173,17 @@ func NewPool(m *wb.JointWB, v *textproc.Vocab, n, beam, maxTokens int) (*Pool, e
 		scratch: wb.NewInferScratchFor(v, beam),
 		batch:   wb.NewBatchScratchFor(v, beam, 0),
 	}
-	for i := 1; i < n; i++ {
-		c, err := wb.CloneForServing(m, v)
+	if n > 1 {
+		clones, err := wb.CloneManyForServing(m, v, n-1)
 		if err != nil {
-			return nil, fmt.Errorf("serve: replica %d: %w", i, err)
+			return nil, fmt.Errorf("serve: clone replicas: %w", err)
 		}
-		replicas[i] = &modelReplica{
-			model: c, vocab: v, beam: beam, maxTokens: maxTokens,
-			scratch: wb.NewInferScratchFor(v, beam),
-			batch:   wb.NewBatchScratchFor(v, beam, 0),
+		for i, c := range clones {
+			replicas[i+1] = &modelReplica{
+				model: c, vocab: v, beam: beam, maxTokens: maxTokens,
+				scratch: wb.NewInferScratchFor(v, beam),
+				batch:   wb.NewBatchScratchFor(v, beam, 0),
+			}
 		}
 	}
 	return PoolOf(replicas...), nil

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"webbrief/internal/briefcache"
 	"webbrief/internal/textproc"
 	"webbrief/internal/wb"
 )
@@ -73,6 +74,24 @@ type Config struct {
 	BatchWindow time.Duration
 	// BatchMax caps how many requests one micro-batch may coalesce (0 = 8).
 	BatchMax int
+
+	// CacheCapacity enables the content-addressed briefing cache: hits are
+	// served without a replica checkout and concurrent misses on one cold
+	// key coalesce into a single computation (see internal/briefcache).
+	// 0 disables caching — every request runs the pipeline.
+	CacheCapacity int
+	// CacheShards is the cache shard count (0 = briefcache's default).
+	CacheShards int
+	// CacheTTL is the default entry lifetime when no policy class matches
+	// (0 = entries never expire).
+	CacheTTL time.Duration
+	// CachePolicy is the per-domain admission/TTL policy, keyed by the
+	// optional ?src= query parameter (nil = admit everything).
+	CachePolicy *briefcache.Policy
+	// Cache overrides the constructed cache (tests, shared caches). When
+	// set, the CacheCapacity/CacheShards/CacheTTL/CachePolicy knobs are
+	// ignored.
+	Cache *briefcache.Cache
 }
 
 // withDefaults resolves zero values.
@@ -125,6 +144,10 @@ type Server struct {
 	metrics *Metrics
 	mux     *http.ServeMux
 
+	// cache, when non-nil, serves repeat briefings without a replica
+	// checkout and coalesces concurrent cold-key misses (see cache.go).
+	cache *briefcache.Cache
+
 	// queueSlots bounds how many requests may wait for a replica; a
 	// request that cannot take a slot is shed with 429.
 	queueSlots chan struct{}
@@ -174,6 +197,17 @@ func NewFromPool(pool *Pool, cfg Config) *Server {
 		shutdownCh: make(chan struct{}),
 		mux:        http.NewServeMux(),
 	}
+	switch {
+	case cfg.Cache != nil:
+		s.cache = cfg.Cache
+	case cfg.CacheCapacity > 0:
+		s.cache = briefcache.New(briefcache.Config{
+			Capacity:   cfg.CacheCapacity,
+			Shards:     cfg.CacheShards,
+			DefaultTTL: cfg.CacheTTL,
+			Policy:     cfg.CachePolicy,
+		})
+	}
 	s.ready.Store(true)
 	s.mux.HandleFunc("/brief", s.handleBrief)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -200,6 +234,9 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Pool exposes the replica pool.
 func (s *Server) Pool() *Pool { return s.pool }
+
+// Cache exposes the briefing cache (nil when caching is disabled).
+func (s *Server) Cache() *briefcache.Cache { return s.cache }
 
 // BeginShutdown flips the server into draining mode: /healthz reports 503
 // so load balancers stop routing here, and new /brief requests are refused
@@ -323,8 +360,23 @@ func (s *Server) handleBrief(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	// Cache stage: hits (and coalesced waiters) are fully served here —
+	// no admission, no batching, no replica. A winner gets a fill
+	// obligation that respondOutcome settles; the deferred abandon is the
+	// backstop for every other exit (shed, timeout, panic), turning the
+	// losers loose to retry instead of hanging.
+	var fill *cacheFill
+	if s.cache != nil {
+		var handled bool
+		fill, handled = s.cacheServe(w, &lg, ctx, r, body)
+		if handled {
+			return
+		}
+		defer fill.abandon()
+	}
+
 	if s.batchCh != nil {
-		s.briefBatched(w, &lg, ctx, body)
+		s.briefBatched(w, &lg, ctx, body, fill)
 		return
 	}
 
@@ -379,16 +431,23 @@ func (s *Server) handleBrief(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.respondOutcome(w, &lg, o)
+	s.respondOutcome(w, &lg, o, fill)
 }
 
 // respondOutcome maps a pipeline outcome onto its HTTP response and outcome
 // counter — the shared tail of the per-request and batched paths, keeping
 // the requests_total partition identical in both modes. faulted here means
-// the retry budget is already spent.
-func (s *Server) respondOutcome(w http.ResponseWriter, lg *accessEntry, o pipelineOutcome) {
+// the retry budget is already spent. fill, when non-nil, is this request's
+// cache-fill obligation: terminal outcomes (success bytes, 422, 500) are
+// published to coalesced waiters, and successes are inserted into the
+// cache; context failures abandon via the caller's deferred backstop so
+// waiters retry rather than inherit this client's deadline.
+func (s *Server) respondOutcome(w http.ResponseWriter, lg *accessEntry, o pipelineOutcome, fill *cacheFill) {
 	m := s.metrics
 	if o.faulted {
+		if fill != nil {
+			fill.flight.Complete(flightResult{o: o})
+		}
 		m.ReplicaFailure.Add(1)
 		lg.Status = http.StatusInternalServerError
 		http.Error(w, "briefing replica failed and the retry budget is spent",
@@ -396,6 +455,9 @@ func (s *Server) respondOutcome(w http.ResponseWriter, lg *accessEntry, o pipeli
 		return
 	}
 	if o.unbriefable != nil {
+		if fill != nil {
+			fill.flight.Complete(flightResult{o: o})
+		}
 		m.Unbriefable.Add(1)
 		lg.Status = http.StatusUnprocessableEntity
 		http.Error(w, o.unbriefable.Error(), http.StatusUnprocessableEntity)
@@ -415,6 +477,12 @@ func (s *Server) respondOutcome(w http.ResponseWriter, lg *accessEntry, o pipeli
 		return
 	}
 	out := eb.buf.Bytes() // Encode appends the trailing '\n'
+	if fill != nil {
+		// Insert copies out of the pooled buffer; waiters and future hits
+		// share that stable copy.
+		stable := s.cache.Insert(fill.content, fill.raw, out, fill.ttl)
+		fill.flight.Complete(flightResult{body: stable})
+	}
 	m.OK.Add(1)
 	lg.Status = http.StatusOK
 	lg.BytesOut = len(out)
@@ -478,7 +546,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(s.metrics.snapshot(s.pool, s.batchCh != nil))
+	enc.Encode(s.metrics.snapshot(s.pool, s.batchCh != nil, s.cache))
 }
 
 // accessEntry is one structured access-log line. Struct field order is the

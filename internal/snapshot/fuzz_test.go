@@ -1,0 +1,74 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode: the container decoder must never panic or allocate beyond
+// the input size, whatever bytes it is handed; anything it does accept
+// must round-trip through the Builder byte-identically.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	f.Add([]byte("WBSNAPxxxxxxxx"))
+	b := NewBuilder()
+	b.Add("meta", []byte("seed metadata"))
+	var params Buffer
+	params.Float64s([]float64{1, 2, 3.5})
+	b.Add("params", params.Bytes())
+	good := b.Bytes()
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Accepted input: rebuilding from the decoded sections must
+		// reproduce the exact bytes (the format has a single encoding).
+		rb := NewBuilder()
+		for _, name := range s.names {
+			payload, _ := s.Section(name)
+			if err := rb.Add(name, payload); err != nil {
+				t.Fatalf("decoded section %q rejected by builder: %v", name, err)
+			}
+		}
+		if !bytes.Equal(rb.Bytes(), data) {
+			t.Fatal("accepted container does not re-encode byte-identically")
+		}
+	})
+}
+
+// FuzzReader: the primitive decoders must survive arbitrary payloads in
+// any read order without panicking.
+func FuzzReader(f *testing.F) {
+	var b Buffer
+	b.Uvarint(7)
+	b.String("hello")
+	b.Strings([]string{"a", "b"})
+	b.Float64s([]float64{1.5})
+	f.Add(b.Bytes(), uint8(0))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}, uint8(3))
+	f.Add([]byte{}, uint8(1))
+
+	f.Fuzz(func(t *testing.T, data []byte, order uint8) {
+		r := NewReader(data)
+		for i := 0; i < 8 && r.Remaining() > 0; i++ {
+			switch (int(order) + i) % 4 {
+			case 0:
+				r.Uvarint()
+			case 1:
+				r.String()
+			case 2:
+				r.Strings()
+			default:
+				r.Float64s()
+			}
+		}
+	})
+}

@@ -8,7 +8,10 @@ import (
 
 // FuzzNormalize checks the normaliser's invariants on arbitrary input:
 // no empty tokens, everything lowercase or a special/punctuation token,
-// digit runs always collapsed to <digit>.
+// digit runs always collapsed to <digit>. Lowercase means "as far as
+// Unicode allows": a few Lu runes (ϔ, ℂ, ℝ, …) have no lowercase
+// mapping and no case-fold equivalent, and pass through unchanged —
+// the invariant is that no rune unicode.ToLower can change survives.
 func FuzzNormalize(f *testing.F) {
 	for _, seed := range []string{
 		"Plain words here", "$40.13!", "MIXED case AND 123 numbers",
@@ -26,7 +29,7 @@ func FuzzNormalize(f *testing.F) {
 				continue
 			}
 			for _, r := range tok {
-				if unicode.IsUpper(r) {
+				if unicode.IsUpper(r) && unicode.ToLower(r) != r {
 					t.Fatalf("uppercase survived: %q", tok)
 				}
 				if unicode.IsDigit(r) {

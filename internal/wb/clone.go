@@ -1,7 +1,6 @@
 package wb
 
 import (
-	"bytes"
 	"fmt"
 
 	"webbrief/internal/textproc"
@@ -10,9 +9,9 @@ import (
 // CloneForServing deep-copies a trained GloVe-encoder Joint-WB model so the
 // clone and the original can run eval-mode forwards concurrently without
 // sharing any mutable state — the replica-construction primitive behind
-// serve.Pool. The copy goes through the SaveJointWB/LoadJointWB round-trip,
-// so it is exactly the model a restart would load: gob preserves float64
-// bits, making the clone's briefings byte-identical to the original's.
+// serve.Pool. The copy goes through the snapshot codec round-trip, so it is
+// exactly the model a restart would load: float64 bit patterns are
+// preserved, making the clone's briefings byte-identical to the original's.
 //
 // The embedding table — by far the largest parameter — is shared with the
 // original rather than copied: eval-mode forwards only ever read parameter
@@ -24,15 +23,35 @@ import (
 // clones are serving — writes the shared embedding and races; callers that
 // need to retrain must build a fresh model and a fresh pool.
 func CloneForServing(m *JointWB, v *textproc.Vocab) (*JointWB, error) {
-	var buf bytes.Buffer
-	if err := SaveJointWB(&buf, m, v); err != nil {
-		return nil, fmt.Errorf("wb: clone: %w", err)
+	clones, err := CloneManyForServing(m, v, 1)
+	if err != nil {
+		return nil, err
 	}
-	clone, _, err := LoadJointWB(&buf)
+	return clones[0], nil
+}
+
+// CloneManyForServing builds n serving clones with one encode: the model
+// is snapshotted once and decoded n times, instead of paying the encode
+// per clone. This is the pool cold-boot path — for an n-replica pool it
+// halves the serialisation work of n independent CloneForServing calls.
+// Every clone shares the original's embedding table (see CloneForServing).
+func CloneManyForServing(m *JointWB, v *textproc.Vocab, n int) ([]*JointWB, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("wb: clone count %d", n)
+	}
+	data, err := EncodeSnapshot(m, v)
 	if err != nil {
 		return nil, fmt.Errorf("wb: clone: %w", err)
 	}
-	orig := m.Enc.(*GloVeEncoder) // SaveJointWB succeeded, so Enc is GloVe
-	clone.Enc.(*GloVeEncoder).Emb.Table.Value = orig.Emb.Table.Value
-	return clone, nil
+	orig := m.Enc.(*GloVeEncoder) // EncodeSnapshot succeeded, so Enc is GloVe
+	clones := make([]*JointWB, n)
+	for i := range clones {
+		clone, _, err := DecodeSnapshot(data)
+		if err != nil {
+			return nil, fmt.Errorf("wb: clone: %w", err)
+		}
+		clone.Enc.(*GloVeEncoder).Emb.Table.Value = orig.Emb.Table.Value
+		clones[i] = clone
+	}
+	return clones, nil
 }

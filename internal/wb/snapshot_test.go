@@ -1,0 +1,296 @@
+package wb
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"webbrief/internal/snapshot"
+	"webbrief/internal/textproc"
+)
+
+var updateSnap = flag.Bool("update-snap", false, "rewrite the golden model snapshot")
+
+// trainedTestModel builds a small deterministic trained model shared by
+// the snapshot tests.
+func trainedTestModel(t testing.TB) (*JointWB, *textproc.Vocab, []*Instance) {
+	t.Helper()
+	insts, v := testData(t, 2, 2)
+	m := newTestJointWB(v, 42)
+	tc := DefaultTrainConfig()
+	tc.Epochs = 2
+	TrainModel(m, insts, tc)
+	return m, v, insts
+}
+
+// TestSnapshotRoundTrip: a snapshotted model decodes to identical
+// parameters (bit-exact) and identical predictions.
+func TestSnapshotRoundTrip(t *testing.T) {
+	m, v, insts := trainedTestModel(t)
+	data, err := EncodeSnapshot(m, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, v2, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Size() != v.Size() {
+		t.Fatalf("vocab size %d vs %d", v2.Size(), v.Size())
+	}
+	for i := 0; i < v.Size(); i++ {
+		if v2.Token(i) != v.Token(i) {
+			t.Fatalf("vocab token %d: %q vs %q", i, v2.Token(i), v.Token(i))
+		}
+	}
+	assertSameParams(t, m, m2)
+	for _, inst := range insts[:2] {
+		got := GenerateTopic(m2, inst, 1, 4)
+		want := GenerateTopic(m, inst, 1, 4)
+		if len(got) != len(want) {
+			t.Fatalf("decode mismatch: %v vs %v", got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("decode mismatch: %v vs %v", got, want)
+			}
+		}
+	}
+}
+
+// assertSameParams compares two models parameter-by-parameter, bit-exact.
+func assertSameParams(t *testing.T, a, b *JointWB) {
+	t.Helper()
+	pa, pb := a.Params(), b.Params()
+	if len(pa) != len(pb) {
+		t.Fatalf("param count %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		va, vb := pa[i].Value, pb[i].Value
+		if va.Rows != vb.Rows || va.Cols != vb.Cols {
+			t.Fatalf("param %d shape %dx%d vs %dx%d", i, va.Rows, va.Cols, vb.Rows, vb.Cols)
+		}
+		for j := range va.Data {
+			if math.Float64bits(va.Data[j]) != math.Float64bits(vb.Data[j]) {
+				t.Fatalf("param %d (%s) value %d not bit-exact: %x vs %x",
+					i, pa[i].Name, j, va.Data[j], vb.Data[j])
+			}
+		}
+	}
+}
+
+// TestSnapshotGobEquivalence: the snapshot codec and the legacy gob bundle
+// reconstruct the same model from the same original — the migration
+// guarantee.
+func TestSnapshotGobEquivalence(t *testing.T) {
+	m, v, insts := trainedTestModel(t)
+
+	var gobBuf bytes.Buffer
+	if err := SaveJointWB(&gobBuf, m, v); err != nil {
+		t.Fatal(err)
+	}
+	fromGob, vGob, err := LoadJointWB(bytes.NewReader(gobBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeSnapshot(m, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSnap, vSnap, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vGob.Size() != vSnap.Size() {
+		t.Fatalf("vocab size %d vs %d", vGob.Size(), vSnap.Size())
+	}
+	assertSameParams(t, fromGob, fromSnap)
+	for _, inst := range insts[:1] {
+		a := GenerateTopic(fromGob, inst, 1, 4)
+		b := GenerateTopic(fromSnap, inst, 1, 4)
+		if len(a) != len(b) {
+			t.Fatalf("gob vs snapshot predictions differ: %v vs %v", a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("gob vs snapshot predictions differ: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+// TestLoadModelAuto dispatches on the magic: both formats load through the
+// same entry point.
+func TestLoadModelAuto(t *testing.T) {
+	m, v, _ := trainedTestModel(t)
+
+	var gobBuf bytes.Buffer
+	if err := SaveJointWB(&gobBuf, m, v); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadModelAuto(bytes.NewReader(gobBuf.Bytes())); err != nil {
+		t.Fatalf("auto-load gob: %v", err)
+	}
+
+	var snapBuf bytes.Buffer
+	if err := SaveSnapshot(&snapBuf, m, v); err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := LoadModelAuto(bytes.NewReader(snapBuf.Bytes()))
+	if err != nil {
+		t.Fatalf("auto-load snapshot: %v", err)
+	}
+	assertSameParams(t, m, m2)
+
+	if _, _, err := LoadModelAuto(bytes.NewReader([]byte("neither format"))); err == nil {
+		t.Fatal("garbage must not auto-load")
+	}
+}
+
+// TestDecodeSnapshotRejectsCorruption: wb-level decoding inherits the
+// container's corruption detection and adds its own shape validation.
+func TestDecodeSnapshotRejectsCorruption(t *testing.T) {
+	m, v, _ := trainedTestModel(t)
+	data, err := EncodeSnapshot(m, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 7, len(data) / 2, len(data) - 5} {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x10
+		if _, _, err := DecodeSnapshot(mut); err == nil {
+			t.Fatalf("bit flip at %d accepted", i)
+		}
+	}
+	if _, _, err := DecodeSnapshot(data[:len(data)/2]); err == nil {
+		t.Fatal("truncation accepted")
+	}
+
+	// Structurally valid container with wrong sections.
+	b := snapshot.NewBuilder()
+	b.Add("wrong/section", []byte("x"))
+	if _, _, err := DecodeSnapshot(b.Bytes()); err == nil {
+		t.Fatal("missing sections accepted")
+	}
+}
+
+// TestGoldenModelSnapshot pins the model bundle bytes: a committed
+// snapshot of a deterministic trained model must decode forever.
+// Regenerate with -update-snap after deliberate format changes.
+func TestGoldenModelSnapshot(t *testing.T) {
+	golden := filepath.Join("testdata", "model-golden.snap")
+	m, v, insts := trainedTestModel(t)
+	data, err := EncodeSnapshot(m, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateSnap {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	disk, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-snap to regenerate)", err)
+	}
+	if !bytes.Equal(disk, data) {
+		t.Fatal("golden model snapshot drifted; deliberate format changes need -update-snap")
+	}
+	m2, _, err := DecodeSnapshot(disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := GenerateTopic(m2, insts[0], 1, 4)
+	want := GenerateTopic(m, insts[0], 1, 4)
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("golden model predicts %v, want %v", got, want)
+		}
+	}
+}
+
+// FuzzDecodeSnapshot: the wb-level decoder must never panic on arbitrary
+// bytes — corrupt models fail closed at startup.
+func FuzzDecodeSnapshot(f *testing.F) {
+	insts, v := testData(f, 1, 1)
+	_ = insts
+	m := newTestJointWB(v, 7)
+	data, err := EncodeSnapshot(m, v)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add(data[:len(data)/2])
+	f.Add([]byte("WBSNAP"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		DecodeSnapshot(b)
+	})
+}
+
+// BenchmarkColdBoot compares decoding a model from the legacy gob bundle
+// against the binary snapshot — the wbserve startup and replica-clone
+// path. Snapshot must win (see BENCH_5.json).
+func BenchmarkColdBoot(b *testing.B) {
+	insts, v := testData(b, 2, 2)
+	_ = insts
+	m := newTestJointWB(v, 42)
+
+	var gobBuf bytes.Buffer
+	if err := SaveJointWB(&gobBuf, m, v); err != nil {
+		b.Fatal(err)
+	}
+	snapData, err := EncodeSnapshot(m, v)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("gob", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(gobBuf.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, _, err := LoadJointWB(bytes.NewReader(gobBuf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("snapshot", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(snapData)))
+		for i := 0; i < b.N; i++ {
+			if _, _, err := DecodeSnapshot(snapData); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCloneMany: pool boot with one shared encode vs n independent
+// clones.
+func BenchmarkCloneMany(b *testing.B) {
+	insts, v := testData(b, 2, 2)
+	_ = insts
+	m := newTestJointWB(v, 42)
+	const n = 4
+	b.Run("clone-each", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < n; j++ {
+				if _, err := CloneForServing(m, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("clone-many", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := CloneManyForServing(m, v, n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

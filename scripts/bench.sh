@@ -29,6 +29,14 @@ echo "== throughput vs concurrency (micro-batching off/on, clients 1/4/16)"
 go test -bench 'ServeBriefConcurrency' -benchtime "$BENCHTIME" -run '^$' -benchmem -cpu 1,2,4 . \
     | tee "$OUT/concurrency.txt"
 
+echo "== cache hit path (full HTTP, every timed request served from the briefing cache)"
+go test -bench 'ServeBriefCacheHit' -benchtime "$BENCHTIME" -run '^$' -benchmem -cpu 1 . \
+    | tee "$OUT/cachehit.txt"
+
+echo "== cold boot + replica cloning (binary snapshot vs legacy gob)"
+go test -bench 'ColdBoot|CloneMany' -benchtime "$BENCHTIME" -run '^$' -benchmem ./internal/wb \
+    | tee "$OUT/coldboot.txt"
+
 echo "== warm scratch fast path (wb.MakeBriefWith, no HTTP)"
 go test -bench 'MakeBriefScratch' -benchtime "$BENCHTIME" -run '^$' -benchmem ./internal/wb \
     | tee "$OUT/scratch.txt"
@@ -64,5 +72,5 @@ cat > "$OUT/BENCH_${N}.skeleton.json" <<EOF
 EOF
 
 echo
-echo "raw output in $OUT/{serve,concurrency,scratch,kernels}.txt"
+echo "raw output in $OUT/{serve,concurrency,cachehit,coldboot,scratch,kernels}.txt"
 echo "skeleton written to $OUT/BENCH_${N}.skeleton.json — fill before/after/summary and move to BENCH_${N}.json"

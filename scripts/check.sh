@@ -25,8 +25,12 @@ go vet ./...
 echo "== wbcheck (determinism + numeric-safety + concurrency/resource-safety lints, 9 passes)"
 go run ./cmd/wbcheck ./...
 
-echo "== race-enabled tests (ag, nn, wb, serve, tensor: e2e + load soak + kernel equivalence)"
-go test -race ./internal/ag ./internal/nn ./internal/wb ./internal/serve ./internal/tensor
+echo "== race-enabled tests (ag, nn, wb, serve, tensor, briefcache, snapshot: e2e + load soak + kernel equivalence)"
+go test -race ./internal/ag ./internal/nn ./internal/wb ./internal/serve ./internal/tensor \
+    ./internal/briefcache ./internal/snapshot
+
+echo "== cache race gate (singleflight herd, coalesced-failure replay, sharded LRU churn, matcher equivalence)"
+go test -race -run 'TestCache|TestFlight|TestSuffixMatcher' ./internal/briefcache ./internal/serve
 
 echo "== chaos suite (seeded fault injection: crawler retries/breaker, serve ejection/drain races)"
 go test -race -run 'Chaos' ./internal/fault ./internal/crawler ./internal/serve
@@ -48,6 +52,9 @@ go test -race -run 'TestBiLSTMForwardBatchMatchesSerial|TestBeamSearchBatchMatch
 
 echo "== batched chaos gate (micro-batching on, one replica faulted, >=99% success)"
 go test -race -run 'TestChaosServeBatchedSoak' ./internal/serve
+
+echo "== cached chaos gate (cache on, one replica faulted, >=99% success, no garbage cached)"
+go test -race -run 'TestChaosServeCachedSoak' ./internal/serve
 
 echo "== wbserve smoke (train tiny bundle, boot, curl /brief + /metrics, drain)"
 SMOKEDIR=$(mktemp -d)
@@ -98,12 +105,43 @@ wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
 echo "   wbserve batched smoke ok"
 
+echo "== wbserve cached smoke (wbsnap gob->snapshot, -cache on, repeat post hits without a replica)"
+go run ./cmd/wbsnap -in "$SMOKEDIR/model.bin" -out "$SMOKEDIR/model.snap"
+go run ./cmd/wbsnap -info "$SMOKEDIR/model.snap" | grep -q 'jointwb/params'
+"$SMOKEDIR/wbserve" -model "$SMOKEDIR/model.snap" -addr 127.0.0.1:18082 -replicas 2 -queue 8 \
+    -cache 256 -quiet &
+SERVE_PID=$!
+for i in $(seq 1 50); do
+    curl -sf http://127.0.0.1:18082/healthz >/dev/null 2>&1 && break
+    sleep 0.2
+done
+PAGE='<html><body><h1>title : novel edition</h1><div>price : $ 9.99</div></body></html>'
+FIRST=$(printf '%s' "$PAGE" | curl -sf --data-binary @- http://127.0.0.1:18082/brief)
+SECOND=$(printf '%s' "$PAGE" | curl -sf --data-binary @- http://127.0.0.1:18082/brief)
+[[ "$FIRST" == "$SECOND" && "$FIRST" == *'"Topic"'* ]]
+curl -sf http://127.0.0.1:18082/metrics | python3 -c '
+import json,sys
+m = json.load(sys.stdin)
+c = m["cache"]
+assert c["enabled"] and c["cache_lookups_total"] == 2, c
+o = c["outcomes"]
+assert o["cache_hits_total"] == 1 and o["cache_misses_total"] == 1 and o["cache_coalesced_total"] == 0, o
+assert c["cache_lookups_total"] == sum(o.values()), (c, o)
+'
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+echo "   wbserve cached smoke ok"
+
 if [[ "$FUZZTIME" != "0" ]]; then
     echo "== fuzz smoke (${FUZZTIME} per target)"
     go test -run='^$' -fuzz=FuzzParse -fuzztime="$FUZZTIME" ./internal/htmldom
     go test -run='^$' -fuzz=FuzzUnescapeEntities -fuzztime="$FUZZTIME" ./internal/htmldom
     go test -run='^$' -fuzz=FuzzNormalize -fuzztime="$FUZZTIME" ./internal/textproc
     go test -run='^$' -fuzz=FuzzWordPiece -fuzztime="$FUZZTIME" ./internal/textproc
+    go test -run='^$' -fuzz='FuzzDecode$' -fuzztime="$FUZZTIME" ./internal/snapshot
+    go test -run='^$' -fuzz=FuzzReader -fuzztime="$FUZZTIME" ./internal/snapshot
+    go test -run='^$' -fuzz=FuzzDecodeSnapshot -fuzztime="$FUZZTIME" ./internal/wb
 fi
 
 echo "ALL CHECKS PASSED"
