@@ -250,6 +250,42 @@ func BenchmarkServeBriefConcurrency(b *testing.B) {
 	}
 }
 
+// BenchmarkServeBriefCascade compares the full-HTTP briefing path on the
+// float64 teacher pool against the cascade's float32 student tier. The
+// cascade cell pins ConfidenceThreshold to a tiny positive value (zero
+// would be defaulted to 0.5 by serve.New) so every request is answered by
+// the student and the cell measures the pure student fast path — the
+// serving-tier counterpart of internal/wb's BenchmarkCascadeTiers, with
+// parse, admission and JSON encoding included. Escalation-mix behaviour is
+// covered by the check.sh cascade smoke and EXPERIMENTS.md, not here.
+func BenchmarkServeBriefCascade(b *testing.B) {
+	bench := func(cascade bool) func(*testing.B) {
+		return func(b *testing.B) {
+			m, v, html := serveBenchModel(b)
+			cfg := serve.Config{Replicas: 1, QueueDepth: 1 << 16, BeamWidth: 4}
+			if cascade {
+				cfg.Cascade = true
+				cfg.ConfidenceThreshold = 1e-12
+			}
+			srv, err := serve.New(m, v, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := srv.Pool().Warm(html); err != nil {
+				b.Fatal(err)
+			}
+			benchHTTPPath(b, srv.Handler(), html)
+			if cascade {
+				if esc := srv.Metrics().CascadeTeacher.Load(); esc > 0 {
+					b.Fatalf("%d requests escalated to the teacher; the cell measured a tier mix", esc)
+				}
+			}
+		}
+	}
+	b.Run("teacher-f64", bench(false))
+	b.Run("student-f32", bench(true))
+}
+
 // BenchmarkServeBriefSerialMutex is the before-picture: the wb.Briefer
 // handler whose single mutex serialises every briefing, under the same
 // concurrent client load as BenchmarkServeBrief.

@@ -30,6 +30,13 @@
 //
 //	wbserve -model model.bin -batch-window 2ms -batch-max 8
 //
+// With -cascade set, every briefing first runs on a float32 student copy of
+// the model; only decodes whose confidence score falls below
+// -confidence-threshold re-run on the full float64 teacher. /metrics gains
+// a cascade block with per-tier counters and latency histograms:
+//
+//	wbserve -model model.bin -cascade -confidence-threshold 0.5
+//
 // With -cache set, repeat briefings of the same page content are served
 // from a content-addressed cache in microseconds — no replica checkout, no
 // batching — and concurrent cold misses of one page coalesce into a single
@@ -81,6 +88,8 @@ func main() {
 	chaosSeed := flag.Int64("chaosseed", 1, "seed for the -chaos fault schedule")
 	batchWindow := flag.Duration("batch-window", 0, "micro-batching window: admitted requests wait up to this long for batchmates before one fused batched forward (0 = off, exact per-request path)")
 	batchMax := flag.Int("batch-max", 8, "max requests coalesced into one micro-batch")
+	cascade := flag.Bool("cascade", false, "float32 student fast path: brief on a float32 model copy and escalate low-confidence decodes to the float64 teacher")
+	confThreshold := flag.Float64("confidence-threshold", 0.5, "cascade escalation cutoff in [0,1]: student decodes whose confidence score falls below it re-run on the teacher")
 	cacheCap := flag.Int("cache", 0, "content-addressed briefing cache capacity in entries (0 = off)")
 	cacheShards := flag.Int("cache-shards", 0, "cache shard count (0 = default)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "default cache entry lifetime (0 = entries never expire)")
@@ -105,21 +114,23 @@ func main() {
 	}
 
 	cfg := serve.Config{
-		Replicas:       *replicas,
-		QueueDepth:     *queue,
-		Timeout:        *timeout,
-		MaxBodyBytes:   *maxBody,
-		BeamWidth:      *beam,
-		ReplicaRetries: *replicaRetries,
-		StallTimeout:   *stall,
-		ProbeInterval:  *probeEvery,
-		ProbeSuccesses: *probeOK,
-		BatchWindow:    *batchWindow,
-		BatchMax:       *batchMax,
-		CacheCapacity:  *cacheCap,
-		CacheShards:    *cacheShards,
-		CacheTTL:       *cacheTTL,
-		CachePolicy:    policy,
+		Replicas:            *replicas,
+		QueueDepth:          *queue,
+		Timeout:             *timeout,
+		MaxBodyBytes:        *maxBody,
+		BeamWidth:           *beam,
+		ReplicaRetries:      *replicaRetries,
+		StallTimeout:        *stall,
+		ProbeInterval:       *probeEvery,
+		ProbeSuccesses:      *probeOK,
+		BatchWindow:         *batchWindow,
+		BatchMax:            *batchMax,
+		Cascade:             *cascade,
+		ConfidenceThreshold: *confThreshold,
+		CacheCapacity:       *cacheCap,
+		CacheShards:         *cacheShards,
+		CacheTTL:            *cacheTTL,
+		CachePolicy:         policy,
 	}
 	if !*quiet {
 		cfg.AccessLog = os.Stderr

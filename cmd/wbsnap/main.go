@@ -9,10 +9,17 @@
 //
 //	wbsnap -in model.bin -out model.snap     # gob (or snapshot) → snapshot
 //	wbsnap -in model.snap -out model.bin -gob  # snapshot (or gob) → gob
+//	wbsnap -in model.snap -out student.snap -student  # distill a float32 student
 //	wbsnap -info model.snap                  # describe a snapshot container
 //
 // The input format is sniffed from its magic bytes, so -in accepts either
 // encoding; wbserve does the same at boot via wb.LoadModelAuto.
+//
+// -student converts the float64 teacher's parameters to a float32 student
+// snapshot (jointwb32/* sections, half the parameter bytes) — the artifact
+// the cascade's fast tier can be distributed as. Only GloVe-encoder models
+// convert. -info distinguishes the two: each parameter section is labelled
+// with its element dtype and width.
 package main
 
 import (
@@ -31,6 +38,7 @@ func main() {
 	in := flag.String("in", "", "input model bundle (gob or snapshot, sniffed)")
 	out := flag.String("out", "", "output path")
 	toGob := flag.Bool("gob", false, "write the legacy gob encoding instead of a snapshot")
+	student := flag.Bool("student", false, "write a float32 student snapshot converted from the float64 model")
 	info := flag.String("info", "", "describe a snapshot file (sections, sizes, version) and exit")
 	flag.Parse()
 
@@ -42,6 +50,9 @@ func main() {
 	}
 	if *in == "" || *out == "" {
 		log.Fatal("need -in and -out (or -info file.snap); see wbsnap -h")
+	}
+	if *toGob && *student {
+		log.Fatal("-gob and -student are mutually exclusive")
 	}
 
 	f, err := os.Open(*in)
@@ -59,17 +70,26 @@ func main() {
 		log.Fatal(err)
 	}
 	defer o.Close()
-	if *toGob {
+	switch {
+	case *toGob:
 		err = wb.SaveJointWB(o, m, v)
-	} else {
+	case *student:
+		var sm *wb.JointWB32
+		if sm, err = wb.ConvertJointWB(m); err == nil {
+			err = wb.SaveStudentSnapshot(o, sm, v)
+		}
+	default:
 		err = wb.SaveSnapshot(o, m, v)
 	}
 	if err != nil {
 		log.Fatalf("write %s: %v", *out, err)
 	}
 	format := "snapshot"
-	if *toGob {
+	switch {
+	case *toGob:
 		format = "gob"
+	case *student:
+		format = "float32 student snapshot"
 	}
 	log.Printf("%s (vocab %d, hidden %d) written as %s to %s", *in, v.Size(), m.Cfg.Hidden, format, *out)
 }
@@ -90,7 +110,22 @@ func describe(path string) error {
 	fmt.Printf("%s: snapshot v%d, %d bytes, %d sections\n", path, s.Version(), len(data), len(s.Names()))
 	for _, name := range s.Names() {
 		payload, _ := s.Section(name)
-		fmt.Printf("  %-24s %d bytes\n", name, len(payload))
+		fmt.Printf("  %-24s %-18s %d bytes\n", name, sectionDtype(name), len(payload))
 	}
 	return nil
+}
+
+// sectionDtype labels a section with its element encoding, keyed by the
+// naming convention: jointwb/* sections hold float64 slabs, jointwb32/*
+// hold float32, and meta sections are varint-framed headers.
+func sectionDtype(name string) string {
+	switch name {
+	case "jointwb/params":
+		return "float64 (8B/elem)"
+	case "jointwb32/params":
+		return "float32 (4B/elem)"
+	case "jointwb/meta", "jointwb32/meta":
+		return "varint meta"
+	}
+	return "opaque"
 }

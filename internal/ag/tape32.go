@@ -1,0 +1,207 @@
+package ag
+
+import (
+	"fmt"
+
+	"webbrief/internal/tensor"
+)
+
+// Tape32 is the float32 inference tape behind the distilled-student serving
+// tier. Unlike Tape it is value-level: the student never trains, so there
+// is no Node graph, no backward closures and no gradient storage — each op
+// takes and returns *tensor.Matrix32 directly, drawing every intermediate
+// from a private reusable Arena32. That keeps the student forward
+// allocation-free after warm-up (the same contract NewInferTape gives the
+// float64 path) while avoiding a per-op node record the student would never
+// read.
+//
+// A Tape32 is not safe for concurrent use; each serving replica owns one
+// inside its wb scratch.
+type Tape32 struct {
+	arena *tensor.Arena32
+	pack  *tensor.PackBuf32 // nil: MatMul uses the unpacked kernel
+}
+
+// NewInferTape32 returns an empty float32 inference tape. Call Reset
+// between forwards to reuse the arena; nothing allocated before a Reset may
+// be referenced after it.
+func NewInferTape32() *Tape32 { return &Tape32{arena: tensor.NewArena32()} }
+
+// SetPack attaches a caller-owned pack buffer; while set, MatMul routes
+// through the panel-packed kernel (tensor.MatMulPackInto32). The buffer
+// must not be shared with a concurrently running tape.
+func (t *Tape32) SetPack(p *tensor.PackBuf32) { t.pack = p }
+
+// Reset rewinds the arena so the next forward reuses the same memory.
+func (t *Tape32) Reset() { t.arena.Reset() }
+
+// AllocValue returns a zeroed rows×cols matrix from the tape's arena. The
+// matrix obeys tape lifetime: invalid after Reset.
+func (t *Tape32) AllocValue(rows, cols int) *tensor.Matrix32 { return t.arena.Alloc(rows, cols) }
+
+// ViewValue returns a rows×cols matrix header whose backing storage IS data
+// (no copy), from the tape's arena — the batched decode exposes row windows
+// of a shared slab through it.
+func (t *Tape32) ViewValue(rows, cols int, data []float32) *tensor.Matrix32 {
+	return t.arena.AllocShared(rows, cols, data)
+}
+
+// Footprint reports the arena's float count, for capacity diagnostics.
+func (t *Tape32) Footprint() int { return t.arena.Footprint() }
+
+// Add returns a + b.
+func (t *Tape32) Add(a, b *tensor.Matrix32) *tensor.Matrix32 {
+	v := t.AllocValue(a.Rows, a.Cols)
+	tensor.AddInto32(v, a, b)
+	return v
+}
+
+// Mul returns the elementwise product a ⊙ b.
+func (t *Tape32) Mul(a, b *tensor.Matrix32) *tensor.Matrix32 {
+	v := t.AllocValue(a.Rows, a.Cols)
+	tensor.MulInto32(v, a, b)
+	return v
+}
+
+// MatMul returns a·b, routed through the pack buffer when one is attached.
+func (t *Tape32) MatMul(a, b *tensor.Matrix32) *tensor.Matrix32 {
+	v := t.AllocValue(a.Rows, b.Cols)
+	if t.pack != nil {
+		tensor.MatMulPackInto32(v, a, b, t.pack)
+	} else {
+		tensor.MatMulInto32(v, a, b)
+	}
+	return v
+}
+
+// MatMulTransB returns a·bᵀ.
+func (t *Tape32) MatMulTransB(a, b *tensor.Matrix32) *tensor.Matrix32 {
+	v := t.AllocValue(a.Rows, b.Rows)
+	tensor.MatMulTransBInto32(v, a, b)
+	return v
+}
+
+// AddRowVector adds the 1×cols vector vec to every row of a.
+func (t *Tape32) AddRowVector(a, vec *tensor.Matrix32) *tensor.Matrix32 {
+	v := t.AllocValue(a.Rows, a.Cols)
+	tensor.AddRowVectorInto32(v, a, vec)
+	return v
+}
+
+// Tanh applies tanh elementwise.
+func (t *Tape32) Tanh(a *tensor.Matrix32) *tensor.Matrix32 {
+	v := t.AllocValue(a.Rows, a.Cols)
+	tensor.TanhInto32(v, a)
+	return v
+}
+
+// Sigmoid applies the logistic function elementwise.
+func (t *Tape32) Sigmoid(a *tensor.Matrix32) *tensor.Matrix32 {
+	v := t.AllocValue(a.Rows, a.Cols)
+	tensor.SigmoidInto32(v, a)
+	return v
+}
+
+// SoftmaxRows applies row-wise softmax.
+func (t *Tape32) SoftmaxRows(a *tensor.Matrix32) *tensor.Matrix32 {
+	v := t.AllocValue(a.Rows, a.Cols)
+	tensor.SoftmaxRowsInto32(v, a)
+	return v
+}
+
+// LogSoftmaxRows applies row-wise log-softmax.
+func (t *Tape32) LogSoftmaxRows(a *tensor.Matrix32) *tensor.Matrix32 {
+	v := t.AllocValue(a.Rows, a.Cols)
+	tensor.LogSoftmaxRowsInto32(v, a)
+	return v
+}
+
+// Transpose returns aᵀ.
+func (t *Tape32) Transpose(a *tensor.Matrix32) *tensor.Matrix32 {
+	v := t.AllocValue(a.Cols, a.Rows)
+	tensor.TransposeInto32(v, a)
+	return v
+}
+
+// ConcatCols joins matrices horizontally.
+func (t *Tape32) ConcatCols(ms ...*tensor.Matrix32) *tensor.Matrix32 {
+	cols := 0
+	for _, m := range ms {
+		cols += m.Cols
+	}
+	v := t.AllocValue(ms[0].Rows, cols)
+	tensor.ConcatColsInto32(v, ms...)
+	return v
+}
+
+// ConcatCols2 joins exactly two matrices horizontally without the variadic
+// slice — the per-token hot call of the BiLSTM forward.
+func (t *Tape32) ConcatCols2(a, b *tensor.Matrix32) *tensor.Matrix32 {
+	v := t.AllocValue(a.Rows, a.Cols+b.Cols)
+	tensor.ConcatColsInto32(v, a, b)
+	return v
+}
+
+// ConcatRows stacks matrices vertically.
+func (t *Tape32) ConcatRows(ms ...*tensor.Matrix32) *tensor.Matrix32 {
+	rows := 0
+	for _, m := range ms {
+		rows += m.Rows
+	}
+	v := t.AllocValue(rows, ms[0].Cols)
+	tensor.ConcatRowsInto32(v, ms...)
+	return v
+}
+
+// SliceRows takes rows [lo, hi) of a.
+func (t *Tape32) SliceRows(a *tensor.Matrix32, lo, hi int) *tensor.Matrix32 {
+	if lo < 0 || hi > a.Rows || lo >= hi {
+		panic(fmt.Sprintf("ag: Tape32.SliceRows [%d,%d) out of range for %d rows", lo, hi, a.Rows))
+	}
+	v := t.AllocValue(hi-lo, a.Cols)
+	copy(v.Data, a.Data[lo*a.Cols:hi*a.Cols])
+	return v
+}
+
+// SliceCols takes columns [lo, hi) of a — the LSTM gate split.
+func (t *Tape32) SliceCols(a *tensor.Matrix32, lo, hi int) *tensor.Matrix32 {
+	if lo < 0 || hi > a.Cols || lo >= hi {
+		panic(fmt.Sprintf("ag: Tape32.SliceCols [%d,%d) out of range for %d cols", lo, hi, a.Cols))
+	}
+	v := t.AllocValue(a.Rows, hi-lo)
+	for i := 0; i < a.Rows; i++ {
+		copy(v.Row(i), a.Row(i)[lo:hi])
+	}
+	return v
+}
+
+// GatherRows selects the given rows of a (rows may repeat).
+func (t *Tape32) GatherRows(a *tensor.Matrix32, rows []int) *tensor.Matrix32 {
+	v := t.AllocValue(len(rows), a.Cols)
+	for i, r := range rows {
+		copy(v.Row(i), a.Row(r))
+	}
+	return v
+}
+
+// Lookup gathers embedding rows ids from table — the embedding forward.
+func (t *Tape32) Lookup(table *tensor.Matrix32, ids []int) *tensor.Matrix32 {
+	return t.GatherRows(table, ids)
+}
+
+// MeanRows averages over rows, returning a 1×cols matrix. The per-column
+// sums accumulate in float64: document-length row counts make this the
+// student's longest fixed-order reduction, and the widened accumulator
+// keeps it within the kernel tier's error bound.
+func (t *Tape32) MeanRows(a *tensor.Matrix32) *tensor.Matrix32 {
+	v := t.AllocValue(1, a.Cols)
+	inv := 1 / float64(a.Rows)
+	for j := 0; j < a.Cols; j++ {
+		var s float64
+		for i := 0; i < a.Rows; i++ {
+			s += float64(a.Data[i*a.Cols+j])
+		}
+		v.Data[j] = float32(s * inv)
+	}
+	return v
+}

@@ -49,3 +49,29 @@ func GoodTolerance(a, b, eps float64) bool {
 func GoodInts(a, b int) bool {
 	return a == b
 }
+
+// BadNarrowed: narrowing to float32 before comparing does not make the
+// comparison exact — rounding at the conversion is still arithmetic.
+func BadNarrowed(x float64) bool {
+	return float32(x) == 1.5 // want "floating-point == comparison"
+}
+
+// BadWidened: a float32 widened to float64 and compared against a computed
+// float64 is the dtype boundary the student/teacher cascade crosses; exact
+// equality across it is exactly as fragile.
+func BadWidened(s float32, t float64) bool {
+	return float64(s) != t // want "floating-point != comparison"
+}
+
+// GoodZeroFloat32: the sparsity-skip exemption holds for float32 too —
+// IEEE true zero is exact at every width.
+func GoodZeroFloat32(xs []float32) int {
+	n := 0
+	for _, x := range xs {
+		if x == 0 {
+			continue
+		}
+		n++
+	}
+	return n
+}

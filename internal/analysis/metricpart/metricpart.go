@@ -4,15 +4,17 @@
 // (internal/serve today) and enforces three clauses of one contract, for
 // each partition the struct carries (the partitions table below —
 // requests_total always, cache_lookups_total when the struct has a
-// CacheLookups counter):
+// CacheLookups counter, cascade_requests_total when it has a
+// CascadeRequests counter):
 //
 //  1. the package declares the partition's registry — a []string of the
 //     atomic.Int64 Metrics field names that partition the total — and every
 //     registry entry names such a field;
 //  2. the snapshot struct's outcome block (what /metrics serves and the
 //     reconciliation tests sum: `Responses` for requests_total,
-//     `CacheOutcomes` for cache_lookups_total) carries exactly the
-//     registered outcomes: nothing missing, nothing extra;
+//     `CacheOutcomes` for cache_lookups_total, `CascadeTiers` for
+//     cascade_requests_total) carries exactly the registered outcomes:
+//     nothing missing, nothing extra;
 //  3. at every outcome site — a statement list that records a response
 //     status (assigns a `.Status` or calls http.Error/WriteHeader) — any
 //     Metrics counter bumped with .Add must be a registered outcome of some
@@ -35,7 +37,7 @@ import (
 // Analyzer implements the metricpart pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "metricpart",
-	Doc:  "atomic outcome counters on a Metrics struct must be registered in their total's partition registry (requestOutcomeFields, cacheOutcomeFields) and mirrored in the matching snapshot block",
+	Doc:  "atomic outcome counters on a Metrics struct must be registered in their total's partition registry (requestOutcomeFields, cacheOutcomeFields, cascadeOutcomeFields) and mirrored in the matching snapshot block",
 	Run:  run,
 }
 
@@ -55,6 +57,7 @@ type partitionSpec struct {
 var partitions = []partitionSpec{
 	{total: "Requests", registry: "requestOutcomeFields", snapshot: "Responses", metric: "requests_total"},
 	{total: "CacheLookups", registry: "cacheOutcomeFields", snapshot: "CacheOutcomes", metric: "cache_lookups_total"},
+	{total: "CascadeRequests", registry: "cascadeOutcomeFields", snapshot: "CascadeTiers", metric: "cascade_requests_total"},
 }
 
 func run(pass *analysis.Pass) {

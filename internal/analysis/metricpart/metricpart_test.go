@@ -14,3 +14,7 @@ func TestMetricpart(t *testing.T) {
 func TestMetricpartCachePartition(t *testing.T) {
 	analysistest.Run(t, metricpart.Analyzer, "./testdata/src/cache")
 }
+
+func TestMetricpartCascadePartition(t *testing.T) {
+	analysistest.Run(t, metricpart.Analyzer, "./testdata/src/cascade")
+}

@@ -1,0 +1,72 @@
+// Package cascade is the cascade-partition metricpart fixture: a Metrics
+// struct carrying a clean requests_total partition plus a
+// cascade_requests_total partition with a stale registry entry, a
+// CascadeTiers snapshot block drifted both ways, and an unregistered
+// cascade counter bumped at an outcome site.
+package cascade
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Metrics carries both totals, so both partition specs apply.
+type Metrics struct {
+	Requests atomic.Int64
+	OK       atomic.Int64
+
+	CascadeRequests atomic.Int64
+	CascadeStudent  atomic.Int64
+	CascadeTeacher  atomic.Int64
+	CascadeRefused  atomic.Int64 // cascade outcome nobody registered
+}
+
+var requestOutcomeFields = []string{
+	"OK",
+}
+
+var cascadeOutcomeFields = []string{
+	"CascadeStudent",
+	"CascadeTeacher",
+	"CascadeGhost", // want "not an atomic.Int64 field"
+}
+
+type snapshot struct {
+	RequestsTotal int64 `json:"requests_total"`
+	Responses     struct {
+		OK int64 `json:"ok"`
+	} `json:"responses"`
+	Cascade struct {
+		CascadeRequests int64    `json:"cascade_requests_total"`
+		CascadeTiers    struct { // want "registered outcome CascadeTeacher is missing"
+			CascadeStudent int64 `json:"student_total"`
+			Stray          int64 `json:"stray"` // want "not a registered outcome"
+		} `json:"tiers"`
+	} `json:"cascade"`
+}
+
+// Snapshot keeps the fixture types and fields referenced.
+func Snapshot(m *Metrics) snapshot {
+	var s snapshot
+	s.RequestsTotal = m.Requests.Load()
+	s.Responses.OK = m.OK.Load()
+	s.Cascade.CascadeRequests = m.CascadeRequests.Load()
+	s.Cascade.CascadeTiers.CascadeStudent = m.CascadeStudent.Load() + m.CascadeTeacher.Load() + m.CascadeRefused.Load()
+	return s
+}
+
+// ServeStudent bumps registered outcomes of both partitions where the
+// status is written: clean.
+func ServeStudent(m *Metrics, w http.ResponseWriter) {
+	m.Requests.Add(1)
+	m.CascadeRequests.Add(1)
+	m.CascadeStudent.Add(1)
+	m.OK.Add(1)
+	w.WriteHeader(http.StatusOK)
+}
+
+// ServeRefused bumps an unregistered cascade counter at an outcome site.
+func ServeRefused(m *Metrics, w http.ResponseWriter) {
+	m.CascadeRefused.Add(1) // want "not registered in any metrics partition"
+	http.Error(w, "refused", http.StatusServiceUnavailable)
+}

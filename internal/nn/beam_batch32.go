@@ -1,0 +1,197 @@
+package nn
+
+import (
+	"sort"
+
+	"webbrief/internal/ag"
+	"webbrief/internal/tensor"
+)
+
+// BeamSearchBatch runs BeamSearchScratch for several instances at once on
+// the float32 tape — the float32 twin of AttnDecoder.BeamSearchBatch, fusing
+// each decode depth's per-beam 1-row steps across every live beam of every
+// unfinished instance into one R-row batched step. Attention stays
+// per-instance; the R-row hidden-state projection through Att.W is shared.
+//
+// Per instance the decode is exactly BeamSearchScratch: same frontier
+// ordering, topK tie-breaking, sort.SliceStable prune, done-beam claiming
+// and ping-pong token pools, driven by that instance's own BeamScratch32.
+//
+// memories[q] is instance q's decoder memory; scratches[q] may be nil (a
+// throwaway scratch is used), as may the whole slice. The returned token
+// slices are copied out and caller-owned; results[q] is nil when instance q
+// decodes to nothing. confs[q] is instance q's decode Confidence, derived
+// from its final frontier exactly as in the single-instance search.
+func (d *AttnDecoder32) BeamSearchBatch(t *ag.Tape32, memories []*tensor.Matrix32, bos, eos, width, maxLen int, scratches []*BeamScratch32) ([][]int, []Confidence) {
+	nInst := len(memories)
+	results := make([][]int, nInst)
+	confs := make([]Confidence, nInst)
+	if nInst == 0 {
+		return results, confs
+	}
+	type instSearch32 struct {
+		bs    *BeamScratch32
+		beams []beam32
+		next  []beam32
+		pool  int
+		live  bool
+	}
+	insts := make([]instSearch32, nInst)
+	for q := range insts {
+		var bs *BeamScratch32
+		if q < len(scratches) {
+			bs = scratches[q]
+		}
+		if bs == nil {
+			bs = NewBeamScratch32(0, width, maxLen)
+		}
+		insts[q] = instSearch32{
+			bs:    bs,
+			beams: append(bs.cur[:0], beam32{state: d.Cell.ZeroState(t)}),
+			next:  bs.next[:0],
+			live:  true,
+		}
+	}
+	finalize := func(q int) {
+		ist := &insts[q]
+		best, conf := beamConfidence(ist.beams)
+		confs[q] = conf
+		toks := best.tokens
+		if len(toks) > 0 && best.done {
+			toks = toks[:len(toks)-1] // strip the trailing EOS
+		}
+		// Persist grown frontiers, then hand back a caller-owned copy.
+		ist.bs.cur, ist.bs.next = ist.beams[:0], ist.next[:0]
+		if len(toks) > 0 {
+			results[q] = append([]int(nil), toks...)
+		}
+		ist.live = false
+	}
+	h := d.Cell.Hidden
+	var (
+		lo    = make([]int, nInst) // slab row range [lo, hi) per instance
+		hi    = make([]int, nInst)
+		rowOf = make([]int, 0, nInst)              // owning instance per slab row
+		prev  = make([]int, 0, nInst)              // previous token per slab row
+		hmats = make([]*tensor.Matrix32, 0, nInst) // per-row H gather sources
+		cmats = make([]*tensor.Matrix32, 0, nInst) // per-row C gather sources
+		zeros []int
+		ctxs  = make([]*tensor.Matrix32, 0, nInst)
+	)
+	for depth := 0; depth < maxLen; depth++ {
+		// Register one slab row per live beam, grouped per instance in
+		// frontier order so instance attention blocks stay contiguous.
+		rowOf, prev, hmats, cmats = rowOf[:0], prev[:0], hmats[:0], cmats[:0]
+		for q := range insts {
+			ist := &insts[q]
+			if !ist.live {
+				continue
+			}
+			lo[q] = len(rowOf)
+			for _, b := range ist.beams {
+				if b.done {
+					continue
+				}
+				p := bos
+				if len(b.tokens) > 0 {
+					p = b.tokens[len(b.tokens)-1]
+				}
+				rowOf = append(rowOf, q)
+				prev = append(prev, p)
+				hmats = append(hmats, b.state.H)
+				cmats = append(cmats, b.state.C)
+			}
+			hi[q] = len(rowOf)
+		}
+		r := len(rowOf)
+		if r == 0 {
+			break
+		}
+		for len(zeros) < r {
+			zeros = append(zeros, 0)
+		}
+		// Gather every live beam's state into R-row slabs and take one
+		// fused decoder step (attention, cell, output projection).
+		hp := t.AllocValue(r, h)
+		tensor.GatherRowsInto32(hp, hmats, zeros[:r])
+		cp := t.AllocValue(r, h)
+		tensor.GatherRowsInto32(cp, cmats, zeros[:r])
+		hw := t.MatMul(hp, d.Att.W)
+		ctxs = ctxs[:0]
+		for q := range insts {
+			if !insts[q].live || hi[q] == lo[q] {
+				continue
+			}
+			sc := t.MatMulTransB(t.SliceRows(hw, lo[q], hi[q]), memories[q])
+			att := t.SoftmaxRows(sc)
+			ctxs = append(ctxs, t.MatMul(att, memories[q]))
+		}
+		ctx := ctxs[0]
+		if len(ctxs) > 1 {
+			ctx = t.ConcatRows(ctxs...)
+		}
+		x := t.ConcatCols2(d.Emb.Forward(t, prev), ctx)
+		st := d.Cell.Step(t, x, State32{H: hp, C: cp})
+		logits := d.Out.Forward(t, t.ConcatCols2(st.H, ctx))
+		logpAll := t.LogSoftmaxRows(logits)
+		// Per-instance frontier bookkeeping, exactly as BeamSearchScratch.
+		for q := range insts {
+			ist := &insts[q]
+			if !ist.live {
+				continue
+			}
+			bs := ist.bs
+			next := ist.next[:0]
+			slot := 0
+			row := lo[q]
+			for _, b := range ist.beams {
+				if b.done {
+					b.tokens = bs.claim(ist.pool, slot, b.tokens)
+					slot++
+					next = append(next, b)
+					continue
+				}
+				logp := logpAll.Row(row)
+				s := State32{
+					H: t.ViewValue(1, h, st.H.Row(row)),
+					C: t.ViewValue(1, h, st.C.Row(row)),
+				}
+				row++
+				for _, j := range bs.topK(logp, width) {
+					toks := bs.claim(ist.pool, slot, b.tokens)
+					slot++
+					next = append(next, beam32{
+						tokens:  append(toks, j),
+						logProb: b.logProb + float64(logp[j]),
+						state:   s,
+						done:    j == eos,
+					})
+				}
+			}
+			sort.SliceStable(next, func(i, j int) bool {
+				return score32(next[i]) > score32(next[j])
+			})
+			if len(next) > width {
+				next = next[:width]
+			}
+			ist.beams, ist.next = next, ist.beams
+			ist.pool = 1 - ist.pool
+			allDone := true
+			for _, b := range ist.beams {
+				if !b.done {
+					allDone = false
+					break
+				}
+			}
+			if allDone {
+				finalize(q)
+			}
+		}
+	}
+	for q := range insts {
+		if insts[q].live {
+			finalize(q)
+		}
+	}
+	return results, confs
+}

@@ -1,0 +1,213 @@
+package nn
+
+import (
+	"math"
+	"sort"
+
+	"webbrief/internal/ag"
+	"webbrief/internal/tensor"
+)
+
+// beam32 is one hypothesis during a float32 beam search. logProb stays
+// float64 — see AttnDecoder32's precision note.
+type beam32 struct {
+	tokens  []int
+	logProb float64
+	state   State32
+	done    bool
+}
+
+// score32 is the length-normalised log probability of a beam.
+func score32(b beam32) float64 {
+	n := len(b.tokens)
+	if n == 0 {
+		return math.Inf(-1)
+	}
+	return b.logProb / float64(n)
+}
+
+// BeamScratch32 holds the reusable buffers for one float32 beam search,
+// mirroring BeamScratch: log-softmax row, top-K index scratch, ping-pong
+// beam frontiers and token pools. Not safe for concurrent searches.
+type BeamScratch32 struct {
+	logp  tensor.Matrix32 // 1×vocab log-softmax scratch, header reused
+	idx   []int           // top-K selection scratch
+	cur   []beam32        // frontier at the current depth
+	next  []beam32        // candidate frontier being built
+	pools [2][][]int      // per-slot token backing arrays
+}
+
+// NewBeamScratch32 returns a scratch presized for the given vocabulary
+// size, beam width and decode depth; all buffers still grow on demand.
+func NewBeamScratch32(vocab, width, maxLen int) *BeamScratch32 {
+	bs := &BeamScratch32{}
+	if vocab > 0 {
+		bs.logp.Data = make([]float32, vocab)
+		bs.idx = make([]int, 0, vocab)
+	}
+	if width > 0 {
+		slots := width*width + width
+		bs.cur = make([]beam32, 0, slots)
+		bs.next = make([]beam32, 0, slots)
+		for p := range bs.pools {
+			bs.pools[p] = make([][]int, slots)
+			for s := range bs.pools[p] {
+				bs.pools[p][s] = make([]int, 0, maxLen+1)
+			}
+		}
+	}
+	return bs
+}
+
+// logSoftmaxRow computes the log-softmax of the 1×vocab logits row into the
+// scratch buffer through the shared float32 kernel.
+func (bs *BeamScratch32) logSoftmaxRow(logits *tensor.Matrix32) []float32 {
+	n := logits.Cols
+	if cap(bs.logp.Data) < n {
+		bs.logp.Data = make([]float32, n)
+	}
+	bs.logp.Rows, bs.logp.Cols, bs.logp.Data = 1, n, bs.logp.Data[:n]
+	tensor.LogSoftmaxRowsInto32(&bs.logp, logits)
+	return bs.logp.Data
+}
+
+// topK selects the indices of the k largest values in xs in descending
+// value order, ties broken toward the lower index, without sorting the
+// whole vocabulary. The returned slice aliases the scratch.
+func (bs *BeamScratch32) topK(xs []float32, k int) []int {
+	if k > len(xs) {
+		k = len(xs)
+	}
+	idx := bs.idx[:0]
+	for i, v := range xs {
+		if len(idx) == k {
+			if !(v > xs[idx[k-1]]) { // ties keep the earlier index
+				continue
+			}
+			idx = idx[:k-1]
+		}
+		p := len(idx)
+		for p > 0 && xs[idx[p-1]] < v {
+			p--
+		}
+		idx = append(idx, 0)
+		copy(idx[p+1:], idx[p:])
+		idx[p] = i
+	}
+	bs.idx = idx[:0]
+	return idx
+}
+
+// claim copies src into slot s of the given token pool and returns it with
+// room for one appended token.
+func (bs *BeamScratch32) claim(pool, s int, src []int) []int {
+	for s >= len(bs.pools[pool]) {
+		bs.pools[pool] = append(bs.pools[pool], nil)
+	}
+	buf := bs.pools[pool][s]
+	if cap(buf) < len(src)+1 {
+		buf = make([]int, 0, len(src)+8)
+	}
+	buf = buf[:len(src)]
+	copy(buf, src)
+	bs.pools[pool][s] = buf
+	return buf
+}
+
+// beamConfidence derives the cascade confidence from a final frontier: the
+// margin between the best and second-best hypotheses' length-normalised
+// scores, and the best hypothesis's geometric-mean token probability. A
+// lone hypothesis has no competitor, so its margin is +Inf.
+func beamConfidence(beams []beam32) (best beam32, conf Confidence) {
+	best = beams[0]
+	secondScore := math.Inf(-1)
+	for _, b := range beams[1:] {
+		s := score32(b)
+		if s > score32(best) {
+			secondScore = score32(best)
+			best = b
+		} else if s > secondScore {
+			secondScore = s
+		}
+	}
+	conf = Confidence{Margin: score32(best) - secondScore, Posterior: math.Exp(score32(best))}
+	if len(beams) < 2 || math.IsNaN(conf.Margin) {
+		conf.Margin = math.Inf(1)
+	}
+	return best, conf
+}
+
+// BeamSearchScratch decodes with the given beam width and maximum depth
+// through a reusable scratch — the float32 twin of
+// AttnDecoder.BeamSearchScratch, with identical frontier ordering, topK
+// tie-breaking, sort.SliceStable pruning and token-pool ping-ponging — and
+// additionally reports the decode Confidence for cascade routing. A nil
+// scratch falls back to a throwaway one; the returned tokens are copied out
+// and caller-owned.
+func (d *AttnDecoder32) BeamSearchScratch(t *ag.Tape32, memory *tensor.Matrix32, bos, eos, width, maxLen int, bs *BeamScratch32) ([]int, Confidence) {
+	if bs == nil {
+		bs = NewBeamScratch32(0, width, maxLen)
+	}
+	pool := 0
+	beams := append(bs.cur[:0], beam32{state: d.Cell.ZeroState(t)})
+	next := bs.next[:0]
+	for depth := 0; depth < maxLen; depth++ {
+		next = next[:0]
+		slot := 0
+		for _, b := range beams {
+			if b.done {
+				b.tokens = bs.claim(pool, slot, b.tokens)
+				slot++
+				next = append(next, b)
+				continue
+			}
+			prev := bos
+			if len(b.tokens) > 0 {
+				prev = b.tokens[len(b.tokens)-1]
+			}
+			logits, s := d.step(t, prev, b.state, memory)
+			logp := bs.logSoftmaxRow(logits)
+			// Expand only the top `width` continuations of this beam;
+			// expanding more can never survive the global prune below.
+			for _, j := range bs.topK(logp, width) {
+				toks := bs.claim(pool, slot, b.tokens)
+				slot++
+				next = append(next, beam32{
+					tokens:  append(toks, j),
+					logProb: b.logProb + float64(logp[j]),
+					state:   s,
+					done:    j == eos,
+				})
+			}
+		}
+		sort.SliceStable(next, func(i, j int) bool {
+			return score32(next[i]) > score32(next[j])
+		})
+		if len(next) > width {
+			next = next[:width]
+		}
+		beams, next = next, beams
+		pool = 1 - pool
+		allDone := true
+		for _, b := range beams {
+			if !b.done {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+	}
+	best, conf := beamConfidence(beams)
+	toks := best.tokens
+	if len(toks) > 0 && best.done {
+		toks = toks[:len(toks)-1] // strip the trailing EOS
+	}
+	// Persist grown frontiers, then hand back a caller-owned copy.
+	bs.cur, bs.next = beams[:0], next[:0]
+	if len(toks) == 0 {
+		return nil, conf
+	}
+	return append([]int(nil), toks...), conf
+}

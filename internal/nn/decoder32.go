@@ -1,0 +1,154 @@
+package nn
+
+import (
+	"math"
+
+	"webbrief/internal/ag"
+	"webbrief/internal/tensor"
+)
+
+// AttnDecoder32 is the float32 serving form of AttnDecoder. Decode path
+// scores (beam log-probabilities, lengths, margins) accumulate in float64
+// even though every matrix op runs in float32: the per-step log-softmax
+// values are float32-accurate, but summing them along a hypothesis is a
+// sequential reduction whose error the cascade's confidence thresholds
+// should not have to absorb.
+type AttnDecoder32 struct {
+	Emb  *Embedding32
+	Cell *LSTM32
+	Att  *Bilinear32
+	Out  *Linear32
+}
+
+// NewAttnDecoder32From converts a trained AttnDecoder to float32.
+func NewAttnDecoder32From(d *AttnDecoder) *AttnDecoder32 {
+	return &AttnDecoder32{
+		Emb:  NewEmbedding32From(d.Emb),
+		Cell: NewLSTM32From(d.Cell),
+		Att:  NewBilinear32From(d.Att),
+		Out:  NewLinear32From(d.Out),
+	}
+}
+
+// Confidence summarises how sure a decode was — the cascade routing signal.
+// Margin is the top-1/top-2 separation: for beam search the gap between the
+// best and second-best finished hypotheses' length-normalised log
+// probabilities, for greedy decoding the worst per-step gap between the
+// chosen token's log probability and the runner-up's. Posterior is the
+// geometric-mean per-token probability of the winning hypothesis,
+// exp(logProb/len). Both are +Inf/1 respectively when the decode had no
+// competition (single beam, empty output).
+type Confidence struct {
+	Margin    float64
+	Posterior float64
+}
+
+// Score folds both signals into one [0, 1] routing scalar:
+//
+//	score = min(Posterior, 1 - exp(-Margin))
+//
+// Either a weak posterior (the model thinks its own topic is unlikely) or a
+// thin margin (a near-tie with a different topic) pulls the score down, and
+// the serve-layer cascade escalates when it falls below the configured
+// threshold. An infinite margin leaves the posterior in charge; a zero
+// margin forces 0 regardless of posterior.
+func (c Confidence) Score() float64 {
+	s := 1 - math.Exp(-c.Margin)
+	if c.Posterior < s {
+		s = c.Posterior
+	}
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// sureConfidence is the no-competition value: nothing decoded or nothing to
+// compare against, so the cascade has no reason to escalate.
+func sureConfidence() Confidence { return Confidence{Margin: math.Inf(1), Posterior: 1} }
+
+// step advances one decode step, mirroring AttnDecoder.step.
+func (d *AttnDecoder32) step(t *ag.Tape32, prev int, s State32, memory *tensor.Matrix32) (logits *tensor.Matrix32, next State32) {
+	att := d.Att.Attention(t, s.H, memory) // 1×memRows
+	ctx := t.MatMul(att, memory)           // 1×memDim
+	x := t.ConcatCols2(d.Emb.Forward(t, []int{prev}), ctx)
+	next = d.Cell.Step(t, x, s)
+	logits = d.Out.Forward(t, t.ConcatCols2(next.H, ctx))
+	return logits, next
+}
+
+// GreedyWithStates greedily decodes up to maxLen tokens and returns both
+// the tokens (EOS excluded) and the decoder hidden states for the emitted
+// steps, mirroring AttnDecoder.GreedyWithStates.
+func (d *AttnDecoder32) GreedyWithStates(t *ag.Tape32, memory *tensor.Matrix32, bos, eos, maxLen int) ([]int, *tensor.Matrix32) {
+	s := d.Cell.ZeroState(t)
+	prev := bos
+	var out []int
+	var hs []*tensor.Matrix32
+	for i := 0; i < maxLen; i++ {
+		var logits *tensor.Matrix32
+		logits, s = d.step(t, prev, s, memory)
+		hs = append(hs, s.H)
+		tok := logits.ArgmaxRow(0)
+		if tok == eos {
+			break
+		}
+		out = append(out, tok)
+		prev = tok
+	}
+	return out, t.ConcatRows(hs...)
+}
+
+// Greedy decodes up to maxLen tokens, stopping at eos, and reports decode
+// confidence: Margin is the worst per-step top-1/top-2 log-probability gap
+// and Posterior the geometric-mean probability of the chosen path
+// (EOS-emitting step included — a barely-chosen EOS is a real risk signal).
+func (d *AttnDecoder32) Greedy(t *ag.Tape32, memory *tensor.Matrix32, bos, eos, maxLen int) ([]int, Confidence) {
+	s := d.Cell.ZeroState(t)
+	prev := bos
+	var out []int
+	var logpSum float64
+	conf := sureConfidence()
+	steps := 0
+	for i := 0; i < maxLen; i++ {
+		var logits *tensor.Matrix32
+		logits, s = d.step(t, prev, s, memory)
+		logp := t.LogSoftmaxRows(logits).Row(0)
+		tok, margin := top2Gap32(logp)
+		steps++
+		logpSum += float64(logp[tok])
+		if margin < conf.Margin {
+			conf.Margin = margin
+		}
+		if tok == eos {
+			break
+		}
+		out = append(out, tok)
+		prev = tok
+	}
+	if steps > 0 {
+		conf.Posterior = math.Exp(logpSum / float64(steps))
+	}
+	return out, conf
+}
+
+// top2Gap32 returns the argmax of row and the log-probability gap to the
+// runner-up (+Inf for a 1-wide row).
+func top2Gap32(row []float32) (int, float64) {
+	best := 0
+	for j, v := range row[1:] {
+		if v > row[best] {
+			best = j + 1
+		}
+	}
+	second := math.Inf(-1)
+	for j, v := range row {
+		if j != best && float64(v) > second {
+			second = float64(v)
+		}
+	}
+	return best, float64(row[best]) - second
+}

@@ -1,0 +1,216 @@
+package nn
+
+import (
+	"webbrief/internal/ag"
+	"webbrief/internal/tensor"
+)
+
+// LSTM32 is the float32 serving form of LSTM, with the same fused
+// [input | forget | cell | output] gate layout.
+type LSTM32 struct {
+	Wx     *tensor.Matrix32 // in×4h
+	Wh     *tensor.Matrix32 // h×4h
+	B      *tensor.Matrix32 // 1×4h
+	Hidden int
+}
+
+// NewLSTM32From converts a trained LSTM to float32.
+func NewLSTM32From(l *LSTM) *LSTM32 {
+	return &LSTM32{
+		Wx:     tensor.ToMatrix32(l.Wx.Value),
+		Wh:     tensor.ToMatrix32(l.Wh.Value),
+		B:      tensor.ToMatrix32(l.B.Value),
+		Hidden: l.Hidden,
+	}
+}
+
+// State32 is an LSTM hidden/cell pair, each rows×hidden (1 row per
+// sequence; batched steps carry several).
+type State32 struct {
+	H, C *tensor.Matrix32
+}
+
+// ZeroState returns the all-zero initial state on tape t.
+func (l *LSTM32) ZeroState(t *ag.Tape32) State32 {
+	return State32{H: t.AllocValue(1, l.Hidden), C: t.AllocValue(1, l.Hidden)}
+}
+
+// Step advances the LSTM one timestep (or one fused batch of timesteps —
+// every row advances independently) and returns the new state.
+func (l *LSTM32) Step(t *ag.Tape32, x *tensor.Matrix32, s State32) State32 {
+	return l.stepFromProj(t, t.MatMul(x, l.Wx), s)
+}
+
+// stepFromProj is Step with the input projection x·Wx already computed.
+// The forward passes hoist that projection out of the recurrence: the
+// whole sequence's x·Wx is one packed seq-row matmul instead of seq
+// latency-bound 1-row products, and matmul rows are computed independently
+// in ascending-k order, so the hoisted projection is bitwise identical to
+// the per-step one. Only the h·Wh recurrence stays inside the time loop.
+func (l *LSTM32) stepFromProj(t *ag.Tape32, xp *tensor.Matrix32, s State32) State32 {
+	gates := t.AddRowVector(t.Add(xp, t.MatMul(s.H, l.Wh)), l.B)
+	h := l.Hidden
+	i := t.Sigmoid(t.SliceCols(gates, 0, h))
+	f := t.Sigmoid(t.SliceCols(gates, h, 2*h))
+	g := t.Tanh(t.SliceCols(gates, 2*h, 3*h))
+	o := t.Sigmoid(t.SliceCols(gates, 3*h, 4*h))
+	c := t.Add(t.Mul(f, s.C), t.Mul(i, g))
+	return State32{H: t.Mul(o, t.Tanh(c)), C: c}
+}
+
+// Forward runs the LSTM over a seq×in input and returns the seq×hidden
+// matrix of hidden states.
+func (l *LSTM32) Forward(t *ag.Tape32, x *tensor.Matrix32) *tensor.Matrix32 {
+	seq := x.Rows
+	s := l.ZeroState(t)
+	xp := t.MatMul(x, l.Wx) // hoisted input projection, seq×4h
+	hs := make([]*tensor.Matrix32, seq)
+	for i := 0; i < seq; i++ {
+		s = l.stepFromProj(t, t.SliceRows(xp, i, i+1), s)
+		hs[i] = s.H
+	}
+	return t.ConcatRows(hs...)
+}
+
+// BiLSTM32 is the float32 serving form of BiLSTM.
+type BiLSTM32 struct {
+	Fwd, Bwd *LSTM32
+}
+
+// NewBiLSTM32From converts a trained BiLSTM to float32.
+func NewBiLSTM32From(b *BiLSTM) *BiLSTM32 {
+	return &BiLSTM32{Fwd: NewLSTM32From(b.Fwd), Bwd: NewLSTM32From(b.Bwd)}
+}
+
+// OutDim returns the concatenated hidden width.
+func (b *BiLSTM32) OutDim() int { return b.Fwd.Hidden + b.Bwd.Hidden }
+
+// Forward returns the seq×2h matrix of concatenated forward/backward
+// states, mirroring BiLSTM.Forward.
+func (b *BiLSTM32) Forward(t *ag.Tape32, x *tensor.Matrix32) *tensor.Matrix32 {
+	seq := x.Rows
+	fwd := make([]*tensor.Matrix32, seq)
+	s := b.Fwd.ZeroState(t)
+	xp := t.MatMul(x, b.Fwd.Wx)
+	for i := 0; i < seq; i++ {
+		s = b.Fwd.stepFromProj(t, t.SliceRows(xp, i, i+1), s)
+		fwd[i] = s.H
+	}
+	bwd := make([]*tensor.Matrix32, seq)
+	s = b.Bwd.ZeroState(t)
+	xp = t.MatMul(x, b.Bwd.Wx)
+	for i := seq - 1; i >= 0; i-- {
+		s = b.Bwd.stepFromProj(t, t.SliceRows(xp, i, i+1), s)
+		bwd[i] = s.H
+	}
+	rows := make([]*tensor.Matrix32, seq)
+	for i := 0; i < seq; i++ {
+		rows[i] = t.ConcatCols2(fwd[i], bwd[i])
+	}
+	return t.ConcatRows(rows...)
+}
+
+// ForwardBatch runs the Bi-LSTM over a ragged batch of sequences in
+// lockstep, the float32 twin of BiLSTM.ForwardBatch: each timestep fuses
+// the per-sequence 1-row recurrences into one B-row Step, with active-set
+// compaction for ragged lengths. Each returned seq_i×2h matrix matches what
+// Forward would produce for that sequence alone (kernel rows are computed
+// independently; the gather/scatter helpers only move rows).
+func (b *BiLSTM32) ForwardBatch(t *ag.Tape32, xs []*tensor.Matrix32) []*tensor.Matrix32 {
+	outs := make([]*tensor.Matrix32, len(xs))
+	for i, x := range xs {
+		outs[i] = t.AllocValue(x.Rows, b.Fwd.Hidden+b.Bwd.Hidden)
+	}
+	lstmLockstep32(t, b.Fwd, xs, outs, 0, false)
+	lstmLockstep32(t, b.Bwd, xs, outs, b.Fwd.Hidden, true)
+	return outs
+}
+
+// lstmLockstep32 advances l over all sequences at once, writing each hidden
+// state into columns [colOff, colOff+h) of the owning sequence's output
+// matrix — the float32 twin of lstmLockstep.
+func lstmLockstep32(t *ag.Tape32, l *LSTM32, xs []*tensor.Matrix32, outs []*tensor.Matrix32, colOff int, reverse bool) {
+	n := len(xs)
+	if n == 0 {
+		return
+	}
+	h := l.Hidden
+	maxLen := 0
+	for _, x := range xs {
+		if x.Rows > maxLen {
+			maxLen = x.Rows
+		}
+	}
+	// Hoist each sequence's input projection out of the time loop (see
+	// stepFromProj); the per-step gather then reads projected 4h-wide rows
+	// and the only matmul inside the recurrence is h·Wh.
+	xps := make([]*tensor.Matrix32, n)
+	for i, x := range xs {
+		xps[i] = t.MatMul(x, l.Wx)
+	}
+	hs := make([]*tensor.Matrix32, n)
+	cs := make([]*tensor.Matrix32, n)
+	for i := range xs {
+		hs[i] = t.AllocValue(1, h)
+		cs[i] = t.AllocValue(1, h)
+	}
+	var (
+		active = make([]int, 0, n)
+		mats   = make([]*tensor.Matrix32, 0, n)
+		rows   = make([]int, 0, n)
+		zeros  = make([]int, n)
+	)
+	for step := 0; step < maxLen; step++ {
+		active = active[:0]
+		for i, x := range xs {
+			if step < x.Rows {
+				active = append(active, i)
+			}
+		}
+		a := len(active)
+		xp := t.AllocValue(a, 4*h)
+		mats, rows = mats[:0], rows[:0]
+		for _, i := range active {
+			pos := step
+			if reverse {
+				pos = xs[i].Rows - 1 - step
+			}
+			mats = append(mats, xps[i])
+			rows = append(rows, pos)
+		}
+		tensor.GatherRowsInto32(xp, mats, rows)
+		hp := t.AllocValue(a, h)
+		cp := t.AllocValue(a, h)
+		mats = mats[:0]
+		for _, i := range active {
+			mats = append(mats, hs[i])
+		}
+		tensor.GatherRowsInto32(hp, mats, zeros[:a])
+		mats = mats[:0]
+		for _, i := range active {
+			mats = append(mats, cs[i])
+		}
+		tensor.GatherRowsInto32(cp, mats, zeros[:a])
+		st := l.stepFromProj(t, xp, State32{H: hp, C: cp})
+		mats = mats[:0]
+		for _, i := range active {
+			mats = append(mats, hs[i])
+		}
+		tensor.ScatterRowsInto32(mats, zeros[:a], st.H)
+		mats = mats[:0]
+		for _, i := range active {
+			mats = append(mats, cs[i])
+		}
+		tensor.ScatterRowsInto32(mats, zeros[:a], st.C)
+		mats, rows = mats[:0], rows[:0]
+		for _, i := range active {
+			pos := step
+			if reverse {
+				pos = xs[i].Rows - 1 - step
+			}
+			mats = append(mats, outs[i])
+			rows = append(rows, pos)
+		}
+		tensor.ScatterRowSpansInto32(mats, rows, colOff, st.H)
+	}
+}

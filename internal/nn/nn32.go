@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"fmt"
+
+	"webbrief/internal/ag"
+	"webbrief/internal/tensor"
+)
+
+// Float32 serving mirrors of the basic layers. The student tier never
+// trains, so these hold bare *tensor.Matrix32 weights instead of ag.Param
+// (no gradient accumulator) and run on the value-level ag.Tape32. Each is
+// built from a trained float64 layer with its New*32From converter —
+// parameters cross the precision boundary exactly once, at student
+// construction or snapshot load.
+
+// Linear32 is the float32 serving form of Linear: y = x·W + b.
+type Linear32 struct {
+	W *tensor.Matrix32 // in×out
+	B *tensor.Matrix32 // 1×out
+}
+
+// NewLinear32From converts a trained Linear to float32.
+func NewLinear32From(l *Linear) *Linear32 {
+	return &Linear32{W: tensor.ToMatrix32(l.W.Value), B: tensor.ToMatrix32(l.B.Value)}
+}
+
+// Forward applies the affine map to x (rows are examples or timesteps).
+func (l *Linear32) Forward(t *ag.Tape32, x *tensor.Matrix32) *tensor.Matrix32 {
+	return t.AddRowVector(t.MatMul(x, l.W), l.B)
+}
+
+// OutDim returns the layer's output width.
+func (l *Linear32) OutDim() int { return l.W.Cols }
+
+// Embedding32 is the float32 serving form of Embedding.
+type Embedding32 struct {
+	Table *tensor.Matrix32 // vocab×dim
+}
+
+// NewEmbedding32From converts a trained Embedding to float32.
+func NewEmbedding32From(e *Embedding) *Embedding32 {
+	return &Embedding32{Table: tensor.ToMatrix32(e.Table.Value)}
+}
+
+// Forward looks up the rows for ids, returning a len(ids)×dim matrix.
+func (e *Embedding32) Forward(t *ag.Tape32, ids []int) *tensor.Matrix32 {
+	for _, id := range ids {
+		if id < 0 || id >= e.Table.Rows {
+			panic(fmt.Sprintf("nn: embedding id %d out of range [0,%d)", id, e.Table.Rows))
+		}
+	}
+	return t.Lookup(e.Table, ids)
+}
+
+// Dim returns the embedding width.
+func (e *Embedding32) Dim() int { return e.Table.Cols }
+
+// Vocab returns the number of rows in the table.
+func (e *Embedding32) Vocab() int { return e.Table.Rows }
+
+// Bilinear32 is the float32 serving form of Bilinear: scores a·W·bᵀ.
+type Bilinear32 struct {
+	W *tensor.Matrix32 // dimA×dimB
+}
+
+// NewBilinear32From converts a trained Bilinear to float32.
+func NewBilinear32From(bl *Bilinear) *Bilinear32 {
+	return &Bilinear32{W: tensor.ToMatrix32(bl.W.Value)}
+}
+
+// Scores returns a·W·bᵀ with shape rowsA×rowsB.
+func (bl *Bilinear32) Scores(t *ag.Tape32, a, b *tensor.Matrix32) *tensor.Matrix32 {
+	return t.MatMulTransB(t.MatMul(a, bl.W), b)
+}
+
+// Attention returns row-softmaxed scores.
+func (bl *Bilinear32) Attention(t *ag.Tape32, a, b *tensor.Matrix32) *tensor.Matrix32 {
+	return t.SoftmaxRows(bl.Scores(t, a, b))
+}

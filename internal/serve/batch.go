@@ -349,6 +349,7 @@ func (s *Server) runBatchOn(rep Replica, items []*batchItem) bool {
 		return false
 	}
 	decodeDur := time.Since(t2)
+	s.observeCascade(rep)
 
 	for i, it := range liveItems {
 		m.Encode.Observe(encodeDur)

@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"webbrief/internal/corpus"
+	"webbrief/internal/nn"
+	"webbrief/internal/wb"
+)
+
+// cascadeServer boots a cascade server over the shared tiny trained model.
+func cascadeServer(t *testing.T, cfg Config, threshold float64) (*Server, *httptest.Server, []*corpus.Page, [][]byte) {
+	t.Helper()
+	m, v, pages := trainedModel(t)
+	const beam = 2
+	cfg.BeamWidth = beam
+	cfg.Cascade = true
+	cfg.ConfidenceThreshold = threshold
+
+	// Teacher-only reference bytes via the serial path, Encoder framing.
+	serial := wb.NewBriefer(m, v, beam, 0)
+	want := make([][]byte, len(pages))
+	for i, p := range pages {
+		b, err := serial.BriefHTML(p.HTML)
+		if err != nil {
+			t.Fatalf("serial brief %d: %v", i, err)
+		}
+		j, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = append(j, '\n')
+	}
+
+	srv, err := New(m, v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Warm(""); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, pages, want
+}
+
+// TestCascadeNeverEscalates: with a negative threshold the confidence gate
+// never trips, so every briefing is answered by the float32 student and the
+// cascade partition reads all-student.
+func TestCascadeNeverEscalates(t *testing.T) {
+	srv, ts, pages, _ := cascadeServer(t, Config{Replicas: 2}, -1)
+	for i, p := range pages {
+		status, body, err := postBrief(ts.URL, p.HTML)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("page %d: status %d err %v", i, status, err)
+		}
+		if !bytes.Contains(body, []byte(`"Topic"`)) {
+			t.Fatalf("page %d: student response has no topic: %s", i, body)
+		}
+	}
+	m := srv.Metrics()
+	n := int64(len(pages))
+	if got := m.CascadeRequests.Load(); got != n {
+		t.Fatalf("cascade_requests_total = %d, want %d", got, n)
+	}
+	if got := m.CascadeStudent.Load(); got != n {
+		t.Fatalf("student tier answered %d, want %d", got, n)
+	}
+	if got := m.CascadeTeacher.Load(); got != 0 {
+		t.Fatalf("teacher tier answered %d with escalation disabled", got)
+	}
+	if got := m.StudentLatency.count.Load(); got != n {
+		t.Fatalf("student latency histogram has %d observations, want %d", got, n)
+	}
+	if got := m.TeacherLatency.count.Load(); got != 0 {
+		t.Fatalf("teacher latency histogram has %d observations, want 0", got)
+	}
+}
+
+// TestCascadeAlwaysEscalates: a threshold above 1 escalates every briefing,
+// so the wire bytes must be identical to the teacher-only serial path — the
+// proof that an escalation replaces the whole brief, not just the topic.
+func TestCascadeAlwaysEscalates(t *testing.T) {
+	srv, ts, pages, want := cascadeServer(t, Config{Replicas: 2}, 2)
+	for i, p := range pages {
+		status, body, err := postBrief(ts.URL, p.HTML)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("page %d: status %d err %v", i, status, err)
+		}
+		if !bytes.Equal(body, want[i]) {
+			t.Fatalf("page %d: escalated response diverges from teacher-only path:\n got %s\nwant %s",
+				i, body, want[i])
+		}
+	}
+	m := srv.Metrics()
+	n := int64(len(pages))
+	if got := m.CascadeTeacher.Load(); got != n {
+		t.Fatalf("teacher tier answered %d, want %d", got, n)
+	}
+	if got := m.CascadeStudent.Load(); got != 0 {
+		t.Fatalf("student tier answered %d with forced escalation", got)
+	}
+	if got := m.TeacherLatency.count.Load(); got != n {
+		t.Fatalf("teacher latency histogram has %d observations, want %d", got, n)
+	}
+}
+
+// TestCascadePartitionReconciles drives a mixed workload at a live
+// threshold and checks the /metrics invariants the registry promises:
+// student + teacher == cascade_requests_total == OK responses, and the
+// JSON snapshot mirrors the counters.
+func TestCascadePartitionReconciles(t *testing.T) {
+	srv, ts, pages, _ := cascadeServer(t, Config{Replicas: 2}, 0.5)
+	const rounds = 3
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		for _, p := range pages {
+			wg.Add(1)
+			go func(html string) {
+				defer wg.Done()
+				postBrief(ts.URL, html)
+			}(p.HTML)
+		}
+	}
+	wg.Wait()
+
+	m := srv.Metrics()
+	total := m.CascadeRequests.Load()
+	student := m.CascadeStudent.Load()
+	teacher := m.CascadeTeacher.Load()
+	if student+teacher != total {
+		t.Fatalf("cascade partition drifted: student %d + teacher %d != total %d", student, teacher, total)
+	}
+	if ok := m.OK.Load(); total != ok {
+		t.Fatalf("cascade_requests_total %d != ok responses %d", total, ok)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Cascade struct {
+			Enabled             bool    `json:"enabled"`
+			ConfidenceThreshold float64 `json:"confidence_threshold"`
+			CascadeRequests     int64   `json:"cascade_requests_total"`
+			Tiers               struct {
+				Student int64 `json:"student_total"`
+				Teacher int64 `json:"teacher_total"`
+			} `json:"tiers"`
+			EscalationRate float64 `json:"escalation_rate"`
+			LatencyMS      struct {
+				Student struct {
+					Count int64 `json:"count"`
+				} `json:"student"`
+				Teacher struct {
+					Count int64 `json:"count"`
+				} `json:"teacher"`
+			} `json:"latency_ms"`
+		} `json:"cascade"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	c := snap.Cascade
+	if !c.Enabled || c.ConfidenceThreshold != 0.5 {
+		t.Fatalf("cascade block reads enabled=%v threshold=%v", c.Enabled, c.ConfidenceThreshold)
+	}
+	if c.CascadeRequests != total || c.Tiers.Student != student || c.Tiers.Teacher != teacher {
+		t.Fatalf("snapshot (%d, %d, %d) diverges from counters (%d, %d, %d)",
+			c.CascadeRequests, c.Tiers.Student, c.Tiers.Teacher, total, student, teacher)
+	}
+	if total > 0 {
+		wantRate := float64(teacher) / float64(total)
+		if diff := c.EscalationRate - wantRate; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("escalation_rate %v, want %v", c.EscalationRate, wantRate)
+		}
+	}
+	if c.LatencyMS.Student.Count != total || c.LatencyMS.Teacher.Count != teacher {
+		t.Fatalf("tier histogram counts (%d, %d), want (%d, %d)",
+			c.LatencyMS.Student.Count, c.LatencyMS.Teacher.Count, total, teacher)
+	}
+}
+
+// TestCascadeBatchedWireEquivalence: micro-batching over a cascade pool at
+// a force-escalate threshold must still answer teacher-only bytes for every
+// member, and the partition must hold — the batched analogue of
+// TestCascadeAlwaysEscalates, exercising the batched student forward plus
+// the batched teacher escalation path.
+func TestCascadeBatchedWireEquivalence(t *testing.T) {
+	srv, ts, pages, want := cascadeServer(t,
+		Config{Replicas: 1, BatchWindow: 3 * time.Millisecond, BatchMax: 4}, 2)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(pages)*2)
+	for round := 0; round < 2; round++ {
+		for i, p := range pages {
+			wg.Add(1)
+			go func(i int, html string) {
+				defer wg.Done()
+				status, body, err := postBrief(ts.URL, html)
+				if err != nil || status != http.StatusOK {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(body, want[i]) {
+					t.Errorf("page %d: batched escalated response diverges from teacher-only path", i)
+				}
+			}(i, p.HTML)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m := srv.Metrics()
+	total := m.CascadeRequests.Load()
+	if total != int64(2*len(pages)) {
+		t.Fatalf("cascade_requests_total = %d, want %d", total, 2*len(pages))
+	}
+	if s, tt := m.CascadeStudent.Load(), m.CascadeTeacher.Load(); s != 0 || tt != total {
+		t.Fatalf("batched partition (student %d, teacher %d), want (0, %d)", s, tt, total)
+	}
+}
+
+// TestCascadeBatchedStudentOnly: the batched cascade with escalation
+// disabled must serve every member from the student tier and deliver a
+// valid brief — covering the batched student forward + batched beam decode
+// under the scheduler.
+func TestCascadeBatchedStudentOnly(t *testing.T) {
+	srv, ts, pages, _ := cascadeServer(t,
+		Config{Replicas: 1, BatchWindow: 3 * time.Millisecond, BatchMax: 4}, -1)
+
+	var wg sync.WaitGroup
+	for _, p := range pages {
+		wg.Add(1)
+		go func(html string) {
+			defer wg.Done()
+			status, body, err := postBrief(ts.URL, html)
+			if err != nil || status != http.StatusOK || !bytes.Contains(body, []byte(`"Topic"`)) {
+				t.Errorf("batched student brief failed: status %d err %v", status, err)
+			}
+		}(p.HTML)
+	}
+	wg.Wait()
+
+	m := srv.Metrics()
+	if s, tt := m.CascadeStudent.Load(), m.CascadeTeacher.Load(); tt != 0 || s != int64(len(pages)) {
+		t.Fatalf("batched student-only partition (student %d, teacher %d), want (%d, 0)", s, tt, len(pages))
+	}
+}
+
+// TestCascadeRequiresGloVe: New with Cascade on a transformer-encoder model
+// must refuse at construction, not mangle weights at serve time.
+func TestCascadeRequiresGloVe(t *testing.T) {
+	_, v, _ := trainedModel(t)
+	// A transformer-encoder model with the same vocab: conversion must fail.
+	tc := nn.TransformerConfig{Vocab: v.Size(), Dim: 12, Heads: 2, Layers: 1, FFDim: 24, MaxLen: 32, Segments: 2}
+	enc := wb.NewBERTEncoder("bert", tc, false, rand.New(rand.NewSource(4)))
+	bm := wb.NewJointWB("bert-serve", enc, v.Size(), wb.DefaultConfig())
+	if _, err := New(bm, v, Config{Cascade: true, Replicas: 1}); err == nil {
+		t.Fatal("cascade server built over a transformer-encoder model")
+	}
+}

@@ -166,5 +166,28 @@ func (s *Server) briefOn(ctxErr func() error, rep Replica, body []byte) pipeline
 		return pipelineOutcome{faulted: true}
 	}
 	m.Decode.Observe(time.Since(t2))
+	s.observeCascade(rep)
 	return pipelineOutcome{brief: brief}
+}
+
+// observeCascade folds the replica's per-briefing cascade decisions into
+// the tier counters and histograms. Replicas without the cascade capability
+// (teacher-only pools, fault wrappers) report nothing. Called only after a
+// clean decode stage: a faulted briefing never counts toward either tier.
+func (s *Server) observeCascade(rep Replica) {
+	cr, ok := rep.(cascadeReporter)
+	if !ok {
+		return
+	}
+	m := s.metrics
+	for _, d := range cr.CascadeReport() {
+		m.CascadeRequests.Add(1)
+		m.StudentLatency.Observe(d.student)
+		if d.escalated {
+			m.CascadeTeacher.Add(1)
+			m.TeacherLatency.Observe(d.teacher)
+		} else {
+			m.CascadeStudent.Add(1)
+		}
+	}
 }

@@ -229,6 +229,20 @@ type Metrics struct {
 	CacheMisses     atomic.Int64 // flight winners that computed the briefing
 	CacheCoalesced  atomic.Int64 // waiters served by a winner's flight
 	CacheHitLatency nsHistogram  // lookup start → hit response written (cacheHitBucketsNS)
+
+	// Cascade counters, populated only when the pool runs the float32
+	// student cascade (NewCascadePool). CascadeRequests counts every
+	// briefing routed through the cascade, and the two tier counters
+	// partition it exactly (cascadeOutcomeFields): each briefing either
+	// stays on the student or escalates to the teacher, decided once at
+	// decode time. The tier histograms carry per-tier wall time: every
+	// briefing observes a student latency; only escalations observe a
+	// teacher latency on top.
+	CascadeRequests atomic.Int64 // cascade_requests_total
+	CascadeStudent  atomic.Int64 // answered by the float32 student tier
+	CascadeTeacher  atomic.Int64 // escalated to the float64 teacher tier
+	StudentLatency  histogram    // student encode+decode wall time, per briefing
+	TeacherLatency  histogram    // teacher re-brief wall time, per escalation
 }
 
 // requestOutcomeFields names the Metrics counters that partition
@@ -260,6 +274,15 @@ var cacheOutcomeFields = []string{
 	"CacheHits",
 	"CacheMisses",
 	"CacheCoalesced",
+}
+
+// cascadeOutcomeFields names the counters that partition
+// cascade_requests_total: every briefing that runs the cascade is answered
+// by exactly one tier. Enforced by the same wbcheck metricpart pass and
+// runtime reflection test as requestOutcomeFields.
+var cascadeOutcomeFields = []string{
+	"CascadeStudent",
+	"CascadeTeacher",
 }
 
 // metricsSnapshot is the JSON document served at /metrics. Struct (not
@@ -321,13 +344,28 @@ type metricsSnapshot struct {
 		Entries      int                 `json:"entries"`
 		HitLatencyNS nsHistogramSnapshot `json:"hit_latency_ns"`
 	} `json:"cache"`
+	Cascade struct {
+		Enabled             bool    `json:"enabled"`
+		ConfidenceThreshold float64 `json:"confidence_threshold"`
+		CascadeRequests     int64   `json:"cascade_requests_total"`
+		CascadeTiers        struct {
+			CascadeStudent int64 `json:"student_total"`
+			CascadeTeacher int64 `json:"teacher_total"`
+		} `json:"tiers"`
+		EscalationRate float64 `json:"escalation_rate"`
+		LatencyMS      struct {
+			Student histogramSnapshot `json:"student"`
+			Teacher histogramSnapshot `json:"teacher"`
+		} `json:"latency_ms"`
+	} `json:"cascade"`
 }
 
 // snapshot collects a point-in-time view of every counter. batching flags
 // whether the server dispatches through the micro-batch scheduler; cache
 // is the briefing cache (nil when disabled), read for eviction and
-// occupancy figures.
-func (m *Metrics) snapshot(pool *Pool, batching bool, cache *briefcache.Cache) metricsSnapshot {
+// occupancy figures; cascade and threshold describe the student fast path
+// (threshold is only meaningful when cascade is set).
+func (m *Metrics) snapshot(pool *Pool, batching bool, cache *briefcache.Cache, cascade bool, threshold float64) metricsSnapshot {
 	var s metricsSnapshot
 	s.RequestsTotal = m.Requests.Load()
 	s.Responses.OK = m.OK.Load()
@@ -374,5 +412,17 @@ func (m *Metrics) snapshot(pool *Pool, batching bool, cache *briefcache.Cache) m
 		s.Cache.Entries = cache.Len()
 	}
 	s.Cache.HitLatencyNS = m.CacheHitLatency.snapshotWith(cacheHitBucketsNS)
+	s.Cascade.Enabled = cascade
+	if cascade {
+		s.Cascade.ConfidenceThreshold = threshold
+	}
+	s.Cascade.CascadeRequests = m.CascadeRequests.Load()
+	s.Cascade.CascadeTiers.CascadeStudent = m.CascadeStudent.Load()
+	s.Cascade.CascadeTiers.CascadeTeacher = m.CascadeTeacher.Load()
+	if total := s.Cascade.CascadeRequests; total > 0 {
+		s.Cascade.EscalationRate = float64(s.Cascade.CascadeTiers.CascadeTeacher) / float64(total)
+	}
+	s.Cascade.LatencyMS.Student = m.StudentLatency.snapshot()
+	s.Cascade.LatencyMS.Teacher = m.TeacherLatency.snapshot()
 	return s
 }

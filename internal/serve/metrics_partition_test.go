@@ -27,6 +27,17 @@ func TestCacheOutcomeFieldsReconcile(t *testing.T) {
 	checkOutcomePartition(t, cacheOutcomeFields, "cacheOutcomeFields", "CacheOutcomes", cacheField.Type)
 }
 
+// TestCascadeOutcomeFieldsReconcile is the same three-way check for the
+// cascade_requests_total partition: cascadeOutcomeFields, the Metrics
+// counters, and the Cascade.CascadeTiers snapshot block must agree exactly.
+func TestCascadeOutcomeFieldsReconcile(t *testing.T) {
+	cascadeField, ok := reflect.TypeOf(metricsSnapshot{}).FieldByName("Cascade")
+	if !ok {
+		t.Fatal("metricsSnapshot has no Cascade field")
+	}
+	checkOutcomePartition(t, cascadeOutcomeFields, "cascadeOutcomeFields", "CascadeTiers", cascadeField.Type)
+}
+
 // checkOutcomePartition verifies one partition registry: every registered
 // name is an atomic.Int64 Metrics field, and the named snapshot struct
 // carries exactly one field per registered outcome.

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"webbrief/internal/textproc"
 	"webbrief/internal/wb"
@@ -64,12 +65,40 @@ type BatchReplica interface {
 	DecodeBatch(insts []*wb.Instance, briefs []*wb.Brief)
 }
 
+// cascadeDecision records how one briefing moved through the confidence
+// cascade on a replica: the student tier's wall time, whether the decode
+// escalated, and the teacher tier's wall time when it did.
+type cascadeDecision struct {
+	escalated bool
+	student   time.Duration
+	teacher   time.Duration
+}
+
+// cascadeReporter is the optional cascade observability capability of a
+// Replica: after a Decode or DecodeBatch completes, the server reads one
+// decision per briefing for the tier counters and per-tier histograms. The
+// report is only valid until the replica's next Encode, under the same
+// exclusive checkout — the same lifetime contract as BatchReplica's
+// retained encode state. Wrappers that do not forward it (e.g. the fault
+// injector) simply leave the cascade unreported, never miscounted.
+type cascadeReporter interface {
+	CascadeReport() []cascadeDecision
+}
+
 // modelReplica adapts one Joint-WB model (the original or a
 // wb.CloneForServing copy) to the Replica interface. The vocabulary is
 // shared across all replicas: it is read-only after construction. Each
 // replica owns its inference workspace — a replica serves one request at a
 // time (Pool checkout is exclusive), so the scratch is never shared between
 // concurrent requests.
+//
+// With a student attached (NewCascadePool), the replica runs the
+// confidence-gated cascade: Encode and Decode execute on the float32
+// student first, and a decode whose confidence score falls below threshold
+// re-briefs the page on the float64 teacher under the same checkout. The
+// student weights are read-only at inference, so one *wb.JointWB32 is
+// shared by every replica; the float32 scratches are per-replica like the
+// float64 ones.
 type modelReplica struct {
 	model     wb.Model
 	vocab     *textproc.Vocab
@@ -78,6 +107,13 @@ type modelReplica struct {
 	scratch   *wb.InferScratch
 	batch     *wb.BatchScratch
 	outs      []*wb.Output // encode-stage outputs awaiting DecodeBatch
+
+	student   *wb.JointWB32 // float32 fast path, nil = teacher-only replica
+	threshold float64       // escalate when confidence score < threshold
+	sscratch  *wb.InferScratch32
+	sbatch    *wb.BatchScratch32
+	souts     []*wb.Output32    // student encode outputs awaiting DecodeBatch
+	decisions []cascadeDecision // per-briefing cascade report, reset at Encode
 }
 
 // Parse implements Replica.
@@ -89,30 +125,130 @@ func (r *modelReplica) Parse(html string) (*wb.Instance, error) {
 	return inst, nil
 }
 
-// Encode implements Replica.
+// Encode implements Replica. On a cascade replica the float32 student runs
+// the forward; the teacher executes only if Decode later escalates.
 func (r *modelReplica) Encode(inst *wb.Instance) *wb.Brief {
-	return wb.ExtractBriefWith(r.model, inst, r.vocab, r.scratch)
+	if r.student == nil {
+		return wb.ExtractBriefWith(r.model, inst, r.vocab, r.scratch)
+	}
+	t0 := time.Now()
+	b := wb.ExtractBriefWith32(r.student, inst, r.vocab, r.sscratch)
+	r.decisions = append(r.decisions[:0], cascadeDecision{student: time.Since(t0)})
+	return b
 }
 
-// Decode implements Replica.
+// Decode implements Replica. On a cascade replica the student decodes first
+// and the confidence gate decides whether the teacher re-briefs the page:
+// an escalation replaces the whole brief (extraction and topic), so every
+// answer a client sees came entirely from one tier.
 func (r *modelReplica) Decode(inst *wb.Instance, b *wb.Brief) {
+	if r.student == nil {
+		b.Topic = wb.DecodeTopicWith(r.model, inst, r.vocab, r.beam, r.scratch)
+		return
+	}
+	if len(r.decisions) == 0 { // Decode without Encode (not a server path)
+		r.decisions = append(r.decisions, cascadeDecision{})
+	}
+	d := &r.decisions[0]
+	t0 := time.Now()
+	topic, conf := wb.DecodeTopicWith32(r.student, inst, r.vocab, r.beam, r.sscratch)
+	d.student += time.Since(t0)
+	if conf.Score() >= r.threshold {
+		b.Topic = topic
+		return
+	}
+	t1 := time.Now()
+	*b = *r.teacherBrief(inst)
+	d.escalated = true
+	d.teacher = time.Since(t1)
+}
+
+// teacherBrief runs the full float64 pipeline on the replica's teacher —
+// the cascade's escalation target, and what Warm uses to grow the teacher
+// scratch on a cascade replica.
+func (r *modelReplica) teacherBrief(inst *wb.Instance) *wb.Brief {
+	b := wb.ExtractBriefWith(r.model, inst, r.vocab, r.scratch)
 	b.Topic = wb.DecodeTopicWith(r.model, inst, r.vocab, r.beam, r.scratch)
+	return b
+}
+
+// teacherBriefBatch re-briefs escalated members on the float64 teacher:
+// fused batched forwards when more than one escalated, serial otherwise.
+func (r *modelReplica) teacherBriefBatch(insts []*wb.Instance) []*wb.Brief {
+	if len(insts) == 1 {
+		return []*wb.Brief{r.teacherBrief(insts[0])}
+	}
+	briefs, outs := wb.ExtractBriefBatch(r.model, insts, r.vocab, r.batch)
+	wb.DecodeTopicBatch(r.model, insts, outs, r.vocab, r.beam, r.batch, briefs)
+	return briefs
 }
 
 // EncodeBatch implements BatchReplica: one fused Eval forward for the whole
-// micro-batch. The forward outputs stay live on the batch tape for the
-// DecodeBatch call that must follow.
+// micro-batch (on the student when the cascade is on). The forward outputs
+// stay live on the batch tape for the DecodeBatch call that must follow.
 func (r *modelReplica) EncodeBatch(insts []*wb.Instance) []*wb.Brief {
-	briefs, outs := wb.ExtractBriefBatch(r.model, insts, r.vocab, r.batch)
-	r.outs = outs
+	if r.student == nil {
+		briefs, outs := wb.ExtractBriefBatch(r.model, insts, r.vocab, r.batch)
+		r.outs = outs
+		return briefs
+	}
+	t0 := time.Now()
+	briefs, outs := wb.ExtractBriefBatch32(r.student, insts, r.vocab, r.sbatch)
+	r.souts = outs
+	dur := time.Since(t0)
+	r.decisions = r.decisions[:0]
+	for range insts {
+		// Every member waited the whole fused stage — the same per-request
+		// semantics as the serve layer's stage histograms.
+		r.decisions = append(r.decisions, cascadeDecision{student: dur})
+	}
 	return briefs
 }
 
 // DecodeBatch implements BatchReplica: one batched beam search over the
-// encode outputs EncodeBatch retained.
+// encode outputs EncodeBatch retained. On a cascade replica the
+// low-confidence subset then re-briefs on the teacher, batched when more
+// than one member escalates.
 func (r *modelReplica) DecodeBatch(insts []*wb.Instance, briefs []*wb.Brief) {
-	wb.DecodeTopicBatch(r.model, insts, r.outs, r.vocab, r.beam, r.batch, briefs)
-	r.outs = nil
+	if r.student == nil {
+		wb.DecodeTopicBatch(r.model, insts, r.outs, r.vocab, r.beam, r.batch, briefs)
+		r.outs = nil
+		return
+	}
+	t0 := time.Now()
+	confs := wb.DecodeTopicBatch32(r.student, insts, r.souts, r.vocab, r.beam, r.sbatch, briefs)
+	r.souts = nil
+	sdur := time.Since(t0)
+	var escIdx []int
+	for i := range insts {
+		r.decisions[i].student += sdur
+		if confs[i].Score() < r.threshold {
+			escIdx = append(escIdx, i)
+		}
+	}
+	if len(escIdx) == 0 {
+		return
+	}
+	escInsts := make([]*wb.Instance, len(escIdx))
+	for j, i := range escIdx {
+		escInsts[j] = insts[i]
+	}
+	t1 := time.Now()
+	tbriefs := r.teacherBriefBatch(escInsts)
+	tdur := time.Since(t1)
+	for j, i := range escIdx {
+		*briefs[i] = *tbriefs[j]
+		r.decisions[i].escalated = true
+		r.decisions[i].teacher = tdur
+	}
+}
+
+// CascadeReport implements cascadeReporter.
+func (r *modelReplica) CascadeReport() []cascadeDecision {
+	if r.student == nil {
+		return nil
+	}
+	return r.decisions
 }
 
 // BreakerState is the health state of one replica, circuit-breaker style.
@@ -164,10 +300,51 @@ type Pool struct {
 // each replica exactly like wb.NewBriefer, so pooled briefings are
 // identical to the serial path's.
 func NewPool(m *wb.JointWB, v *textproc.Vocab, n, beam, maxTokens int) (*Pool, error) {
+	reps, err := newModelReplicas(m, v, n, beam, maxTokens)
+	if err != nil {
+		return nil, err
+	}
+	replicas := make([]Replica, len(reps))
+	for i, r := range reps {
+		replicas[i] = r
+	}
+	return PoolOf(replicas...), nil
+}
+
+// NewCascadePool builds a pool whose replicas run the float32 student fast
+// path with confidence-gated escalation to the float64 teacher: the model
+// is converted once with wb.ConvertJointWB (GloVe-encoder models only) and
+// the read-only student weights are shared across all replicas, each of
+// which owns its own float32 scratch workspaces. threshold is the
+// escalation cutoff on the decode confidence score: ≤ 0 never escalates,
+// > 1 escalates every briefing.
+func NewCascadePool(m *wb.JointWB, v *textproc.Vocab, n, beam, maxTokens int, threshold float64) (*Pool, error) {
+	reps, err := newModelReplicas(m, v, n, beam, maxTokens)
+	if err != nil {
+		return nil, err
+	}
+	student, err := wb.ConvertJointWB(m)
+	if err != nil {
+		return nil, fmt.Errorf("serve: float32 student: %w", err)
+	}
+	replicas := make([]Replica, len(reps))
+	for i, r := range reps {
+		r.student = student
+		r.threshold = threshold
+		r.sscratch = wb.NewInferScratch32For(v, beam)
+		r.sbatch = wb.NewBatchScratch32For(v, beam, 0)
+		replicas[i] = r
+	}
+	return PoolOf(replicas...), nil
+}
+
+// newModelReplicas builds the n teacher replicas NewPool and NewCascadePool
+// share: the original model plus n-1 serving clones.
+func newModelReplicas(m *wb.JointWB, v *textproc.Vocab, n, beam, maxTokens int) ([]*modelReplica, error) {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	replicas := make([]Replica, n)
+	replicas := make([]*modelReplica, n)
 	replicas[0] = &modelReplica{
 		model: m, vocab: v, beam: beam, maxTokens: maxTokens,
 		scratch: wb.NewInferScratchFor(v, beam),
@@ -186,7 +363,7 @@ func NewPool(m *wb.JointWB, v *textproc.Vocab, n, beam, maxTokens int) (*Pool, e
 			}
 		}
 	}
-	return PoolOf(replicas...), nil
+	return replicas, nil
 }
 
 // PoolOf wraps pre-built replicas — the seam for serving a non-GloVe model
@@ -218,6 +395,12 @@ func (p *Pool) Warm(html string) error {
 	return p.warmAll(html, func(r Replica, inst *wb.Instance) {
 		r.Decode(inst, r.Encode(inst))
 		r.Decode(inst, r.Encode(inst))
+		if mr, ok := r.(*modelReplica); ok && mr.student != nil {
+			// The passes above grew the student tier; the escalation
+			// target must not hit a cold teacher scratch either.
+			mr.teacherBrief(inst)
+			mr.teacherBrief(inst)
+		}
 	})
 }
 
@@ -239,6 +422,12 @@ func (p *Pool) WarmBatch(html string, size int) error {
 		}
 		br.DecodeBatch(insts, br.EncodeBatch(insts))
 		br.DecodeBatch(insts, br.EncodeBatch(insts))
+		if mr, ok := r.(*modelReplica); ok && mr.student != nil {
+			// Batched escalations run the teacher's batched path; grow its
+			// workspace at full width too.
+			mr.teacherBriefBatch(insts)
+			mr.teacherBriefBatch(insts)
+		}
 	})
 }
 

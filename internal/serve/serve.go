@@ -75,6 +75,19 @@ type Config struct {
 	// BatchMax caps how many requests one micro-batch may coalesce (0 = 8).
 	BatchMax int
 
+	// Cascade enables the float32 student fast path: every briefing first
+	// runs on a float32 conversion of the model (wb.ConvertJointWB; GloVe
+	// encoders only), and only decodes whose confidence score falls below
+	// ConfidenceThreshold re-run on the full float64 teacher under the same
+	// replica checkout. /metrics gains per-tier counters and latency
+	// histograms.
+	Cascade bool
+	// ConfidenceThreshold is the cascade escalation cutoff in [0,1] on the
+	// student's decode confidence score (0 = 0.5 when Cascade is set). The
+	// score is never negative, so a negative threshold never escalates;
+	// values above 1 escalate every briefing.
+	ConfidenceThreshold float64
+
 	// CacheCapacity enables the content-addressed briefing cache: hits are
 	// served without a replica checkout and concurrent misses on one cold
 	// key coalesce into a single computation (see internal/briefcache).
@@ -132,6 +145,9 @@ func (c Config) withDefaults() Config {
 	if c.BatchMax < 1 {
 		c.BatchMax = 1
 	}
+	if c.Cascade && c.ConfidenceThreshold == 0 {
+		c.ConfidenceThreshold = 0.5
+	}
 	return c
 }
 
@@ -175,10 +191,17 @@ type Server struct {
 }
 
 // New builds a Server around a trained GloVe-encoder Joint-WB bundle,
-// constructing cfg.Replicas pool replicas via wb.CloneForServing.
+// constructing cfg.Replicas pool replicas via wb.CloneForServing (cascade
+// replicas via NewCascadePool when cfg.Cascade is set).
 func New(m *wb.JointWB, v *textproc.Vocab, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	pool, err := NewPool(m, v, cfg.Replicas, cfg.BeamWidth, cfg.MaxTokens)
+	var pool *Pool
+	var err error
+	if cfg.Cascade {
+		pool, err = NewCascadePool(m, v, cfg.Replicas, cfg.BeamWidth, cfg.MaxTokens, cfg.ConfidenceThreshold)
+	} else {
+		pool, err = NewPool(m, v, cfg.Replicas, cfg.BeamWidth, cfg.MaxTokens)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -546,7 +569,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(s.metrics.snapshot(s.pool, s.batchCh != nil, s.cache))
+	enc.Encode(s.metrics.snapshot(s.pool, s.batchCh != nil, s.cache, s.cfg.Cascade, s.cfg.ConfidenceThreshold))
 }
 
 // accessEntry is one structured access-log line. Struct field order is the

@@ -39,9 +39,14 @@ import (
 // file, so formats can be sniffed with a 6-byte peek.
 const Magic = "WBSNAP"
 
-// Version is the container format version this package writes. Decode
-// accepts only this version; bumping it is a migration event.
-const Version = 1
+// Version is the container format version this package writes. Version 2
+// added float32 payload slabs (Buffer.Float32s) for the distilled-student
+// snapshots; the container layout itself is unchanged.
+const Version = 2
+
+// MinVersion is the oldest container version Decode still accepts. Version
+// 1 files contain only float64 slabs and remain fully readable.
+const MinVersion = 1
 
 const (
 	maxSections = 1024
@@ -138,8 +143,8 @@ func Decode(data []byte) (*Snapshot, error) {
 		return nil, fmt.Errorf("snapshot: file checksum mismatch (got %08x, want %08x)", got, want)
 	}
 	version := binary.LittleEndian.Uint16(data[len(Magic):])
-	if version != Version {
-		return nil, fmt.Errorf("snapshot: unsupported container version %d (this build reads %d)", version, Version)
+	if version < MinVersion || version > Version {
+		return nil, fmt.Errorf("snapshot: unsupported container version %d (this build reads %d..%d)", version, MinVersion, Version)
 	}
 	count := binary.LittleEndian.Uint32(data[len(Magic)+2:])
 	if count > maxSections {

@@ -1,0 +1,35 @@
+#include "textflag.h"
+
+// func x86HasAVX2FMA() bool
+//
+// CPUID.0 guards the leaf-7 query; CPUID.1 ECX carries FMA (bit 12),
+// OSXSAVE (bit 27) and AVX (bit 28); XGETBV(0) confirms the OS saves
+// XMM+YMM state (XCR0 bits 1-2); CPUID.7.0 EBX bit 5 is AVX2.
+TEXT ·x86HasAVX2FMA(SB), NOSPLIT, $0-1
+	MOVL $0, AX
+	XORL CX, CX
+	CPUID
+	CMPL AX, $7
+	JLT  notsup
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, R8
+	ANDL $0x18001000, R8
+	CMPL R8, $0x18001000
+	JNE  notsup
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  notsup
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	TESTL $0x20, BX
+	JZ   notsup
+	MOVB $1, ret+0(FP)
+	RET
+notsup:
+	MOVB $0, ret+0(FP)
+	RET

@@ -20,3 +20,17 @@ func debugFinite(op string, dst *Matrix) {
 		}
 	}
 }
+
+// debugFinite32 is debugFinite for the float32 student-tier kernels. The
+// float32 range is far narrower than float64's, so overflow to Inf is the
+// likelier failure here: a teacher whose activations stay finite in float64
+// can blow up after conversion, and this guard names the first kernel that
+// produces the non-finite value.
+func debugFinite32(op string, dst *Matrix32) {
+	for i, v := range dst.Data {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			panic(fmt.Sprintf("tensor: %s produced non-finite %v at (%d,%d)", op, v, i/dst.Cols, i%dst.Cols))
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Destination-passing float32 kernels — the student tier's analogue of
+// into.go. Each writes into dst instead of allocating so the float32 infer
+// tape can draw every intermediate from a reusable Arena32. Transcendentals
+// (tanh, exp, log) evaluate through their float64 library forms and round
+// once on the way out: on amd64 those route to runtime-FMA assembly that a
+// pure-Go float32-native approximation measurably loses to (a Cody–Waite +
+// Taylor exp was ~3× slower in kernel throughput), and the library form
+// keeps the result correctly rounded.
+
+func dstShapeCheck32(dst *Matrix32, rows, cols int, op string) {
+	if dst.Rows != rows || dst.Cols != cols {
+		panic(fmt.Sprintf("tensor: %s dst shape %dx%d, want %dx%d", op, dst.Rows, dst.Cols, rows, cols))
+	}
+}
+
+// AddInto32 sets dst = a + b.
+func AddInto32(dst, a, b *Matrix32) {
+	a.shapeCheck(b, "AddInto32")
+	dstShapeCheck32(dst, a.Rows, a.Cols, "AddInto32")
+	for i, v := range a.Data {
+		dst.Data[i] = v + b.Data[i]
+	}
+	debugFinite32("AddInto32", dst)
+}
+
+// SubInto32 sets dst = a - b.
+func SubInto32(dst, a, b *Matrix32) {
+	a.shapeCheck(b, "SubInto32")
+	dstShapeCheck32(dst, a.Rows, a.Cols, "SubInto32")
+	for i, v := range a.Data {
+		dst.Data[i] = v - b.Data[i]
+	}
+	debugFinite32("SubInto32", dst)
+}
+
+// MulInto32 sets dst = a ⊙ b.
+func MulInto32(dst, a, b *Matrix32) {
+	a.shapeCheck(b, "MulInto32")
+	dstShapeCheck32(dst, a.Rows, a.Cols, "MulInto32")
+	for i, v := range a.Data {
+		dst.Data[i] = v * b.Data[i]
+	}
+	debugFinite32("MulInto32", dst)
+}
+
+// ScaleInto32 sets dst = s*a.
+func ScaleInto32(dst, a *Matrix32, s float32) {
+	dstShapeCheck32(dst, a.Rows, a.Cols, "ScaleInto32")
+	for i, v := range a.Data {
+		dst.Data[i] = s * v
+	}
+	debugFinite32("ScaleInto32", dst)
+}
+
+// AddRowVectorInto32 sets dst = a with the 1×cols vector v added to each row.
+func AddRowVectorInto32(dst, a, v *Matrix32) {
+	if v.Rows != 1 || v.Cols != a.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVectorInto32 wants 1x%d, got %dx%d", a.Cols, v.Rows, v.Cols))
+	}
+	dstShapeCheck32(dst, a.Rows, a.Cols, "AddRowVectorInto32")
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		out := dst.Row(i)
+		for j, x := range row {
+			out[j] = x + v.Data[j]
+		}
+	}
+	debugFinite32("AddRowVectorInto32", dst)
+}
+
+// MatMulInto32 accumulates dst += m·o. dst must be zeroed for a plain
+// product.
+func MatMulInto32(dst, m, o *Matrix32) {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("tensor: MatMulInto32 inner dim mismatch %dx%d · %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	dstShapeCheck32(dst, m.Rows, o.Cols, "MatMulInto32")
+	matMulIntoPacked32(dst, m, o, nil)
+	debugFinite32("MatMulInto32", dst)
+}
+
+// MatMulTransBInto32 sets dst = m·oᵀ (every cell written, no zeroing
+// needed).
+func MatMulTransBInto32(dst, m, o *Matrix32) {
+	if m.Cols != o.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto32 dim mismatch %dx%d · (%dx%d)ᵀ", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	dstShapeCheck32(dst, m.Rows, o.Rows, "MatMulTransBInto32")
+	matMulTransBBlocked32(dst, m, o)
+	debugFinite32("MatMulTransBInto32", dst)
+}
+
+// MatMulTransAInto32 accumulates dst += mᵀ·o. dst must be zeroed for a
+// plain product.
+func MatMulTransAInto32(dst, m, o *Matrix32) {
+	if m.Rows != o.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto32 dim mismatch (%dx%d)ᵀ · %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	dstShapeCheck32(dst, m.Cols, o.Cols, "MatMulTransAInto32")
+	matMulTransARows32(dst, m, o, 0, m.Rows)
+	debugFinite32("MatMulTransAInto32", dst)
+}
+
+// TransposeInto32 sets dst = mᵀ.
+func TransposeInto32(dst, m *Matrix32) {
+	dstShapeCheck32(dst, m.Cols, m.Rows, "TransposeInto32")
+	transposeBlocked32(dst, m)
+	debugFinite32("TransposeInto32", dst)
+}
+
+// TanhInto32 sets dst = tanh(m) elementwise.
+func TanhInto32(dst, m *Matrix32) {
+	dstShapeCheck32(dst, m.Rows, m.Cols, "TanhInto32")
+	for i, v := range m.Data {
+		dst.Data[i] = float32(math.Tanh(float64(v)))
+	}
+	debugFinite32("TanhInto32", dst)
+}
+
+// SigmoidInto32 sets dst = σ(m) elementwise.
+func SigmoidInto32(dst, m *Matrix32) {
+	dstShapeCheck32(dst, m.Rows, m.Cols, "SigmoidInto32")
+	for i, v := range m.Data {
+		dst.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	debugFinite32("SigmoidInto32", dst)
+}
+
+// ReLUInto32 sets dst = max(0, m) elementwise.
+func ReLUInto32(dst, m *Matrix32) {
+	dstShapeCheck32(dst, m.Rows, m.Cols, "ReLUInto32")
+	for i, v := range m.Data {
+		if v > 0 {
+			dst.Data[i] = v
+		} else {
+			dst.Data[i] = 0
+		}
+	}
+	debugFinite32("ReLUInto32", dst)
+}
+
+// SoftmaxRowsInto32 sets dst to the row-wise softmax of m.
+func SoftmaxRowsInto32(dst, m *Matrix32) {
+	dstShapeCheck32(dst, m.Rows, m.Cols, "SoftmaxRowsInto32")
+	for i := 0; i < m.Rows; i++ {
+		softmaxInto32(dst.Row(i), m.Row(i))
+	}
+	debugFinite32("SoftmaxRowsInto32", dst)
+}
+
+// LogSoftmaxRowsInto32 sets dst to the row-wise log-softmax of m. The
+// exp-sum runs in float64 like softmaxInto32; the beam search consumes
+// these log-probabilities and accumulates path scores in float64 on top.
+func LogSoftmaxRowsInto32(dst, m *Matrix32) {
+	dstShapeCheck32(dst, m.Rows, m.Cols, "LogSoftmaxRowsInto32")
+	for i := 0; i < m.Rows; i++ {
+		src := m.Row(i)
+		out := dst.Row(i)
+		mx := src[0]
+		for _, v := range src[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for _, v := range src {
+			sum += math.Exp(float64(v - mx))
+		}
+		lse := float64(mx) + math.Log(sum)
+		for j, v := range src {
+			out[j] = float32(float64(v) - lse)
+		}
+	}
+	debugFinite32("LogSoftmaxRowsInto32", dst)
+}
+
+// ConcatRowsInto32 stacks ms vertically into dst.
+func ConcatRowsInto32(dst *Matrix32, ms ...*Matrix32) {
+	off := 0
+	for _, m := range ms {
+		if m.Cols != dst.Cols {
+			panic(fmt.Sprintf("tensor: ConcatRowsInto32 col mismatch %d vs %d", m.Cols, dst.Cols))
+		}
+		copy(dst.Data[off:], m.Data)
+		off += len(m.Data)
+	}
+	if off != len(dst.Data) {
+		panic("tensor: ConcatRowsInto32 row count mismatch")
+	}
+	debugFinite32("ConcatRowsInto32", dst)
+}
+
+// ConcatColsInto32 joins ms horizontally into dst.
+func ConcatColsInto32(dst *Matrix32, ms ...*Matrix32) {
+	for i := 0; i < dst.Rows; i++ {
+		out := dst.Row(i)
+		off := 0
+		for _, m := range ms {
+			if m.Rows != dst.Rows {
+				panic(fmt.Sprintf("tensor: ConcatColsInto32 row mismatch %d vs %d", m.Rows, dst.Rows))
+			}
+			copy(out[off:], m.Row(i))
+			off += m.Cols
+		}
+		if off != dst.Cols {
+			panic("tensor: ConcatColsInto32 col count mismatch")
+		}
+	}
+	debugFinite32("ConcatColsInto32", dst)
+}

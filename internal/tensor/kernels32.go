@@ -1,0 +1,369 @@
+package tensor
+
+// Float32 twins of the cache-blocked, register-blocked kernels in
+// kernels.go, used by the distilled-student inference tier. The blocking
+// scheme carries over — B-panel packing, row partitioning, a==0 skips — but
+// the register block is twice as wide: packWidth32 = 8 float32 lanes occupy
+// the same 32 bytes as the float64 kernels' packWidth = 4 quad, so the
+// cache-line footprint per step is identical while the independent
+// accumulator chains double. That width is where the float32 tier's speedup
+// comes from on scalar hardware: four FMA chains leave the multiplier ports
+// idle waiting on add latency, eight keep them fed.
+//
+// Accuracy contract: unlike the float64 kernels, these do NOT promise
+// bitwise identity with a reference. They promise the same per-cell
+// accumulation ORDER as their float64 twins (ascending k), which bounds the
+// divergence from a float64 reference at the float32 rounding of each
+// intermediate sum. kernels32_test.go pins this with explicit tolerances:
+// for k-term dot products of inputs in [-1, 1] the error is ≤ k·ε·‖sum‖
+// with ε = 2⁻²⁴, and the tests assert a documented multiple of that bound.
+//
+// That envelope contract — rather than the float64 tier's bitwise one — is
+// what lets the matmul hot loops drop into AVX2+FMA assembly on capable
+// amd64 hardware (kernels32fma_amd64.s, gated by useFMA32): the lane
+// kernels keep each output cell in its own SIMD lane accumulating in
+// ascending k, and fusing the multiply-add only removes an intermediate
+// rounding, so results stay inside the k-term bound. The float64 kernels
+// can never take this path; vectorising or fusing them would break their
+// bitwise-identity promise.
+
+// packWidth32 is the register-block width of the float32 kernels: 8 lanes
+// = 32 bytes, the same per-step footprint as 4 float64 lanes.
+const packWidth32 = 8
+
+// PackBuf32 is the float32 analogue of PackBuf: a caller-owned, reusable
+// B-panel packing buffer. The zero value is ready to use; it grows to the
+// largest packed operand it has seen and is then allocation-free. Not safe
+// for concurrent use — give each serving replica its own.
+type PackBuf32 struct {
+	buf []float32
+}
+
+// ensure returns a buffer of at least n floats, growing the backing store
+// so steady-state calls never allocate.
+func (p *PackBuf32) ensure(n int) []float32 {
+	if cap(p.buf) < n {
+		p.buf = make([]float32, n)
+	}
+	return p.buf[:n]
+}
+
+// Footprint reports the buffer's current capacity in floats.
+func (p *PackBuf32) Footprint() int { return cap(p.buf) }
+
+// packPanels32 rearranges o (k×n, row-major) into packWidth32-column
+// panels, the float32 (8-wide) analogue of packPanels.
+func packPanels32(dst []float32, o *Matrix32) {
+	k, n := o.Rows, o.Cols
+	pos := 0
+	for j0 := 0; j0 < n; j0 += packWidth32 {
+		w := n - j0
+		if w > packWidth32 {
+			w = packWidth32
+		}
+		for r := 0; r < k; r++ {
+			row := o.Data[r*n+j0 : r*n+j0+w]
+			for c, v := range row {
+				dst[pos+c] = v
+			}
+			pos += w
+		}
+	}
+}
+
+// MatMulPackInto32 accumulates dst += m·o like MatMulInto32, routing the
+// product through the caller-owned pack buffer when the shape profits from
+// panel packing. dst must be zeroed for a plain product. A nil pack falls
+// back to the unpacked blocked kernel.
+func MatMulPackInto32(dst, m, o *Matrix32, pack *PackBuf32) {
+	if m.Cols != o.Rows {
+		panic("tensor: MatMulPackInto32 inner dim mismatch")
+	}
+	dstShapeCheck32(dst, m.Rows, o.Cols, "MatMulPackInto32")
+	matMulIntoPacked32(dst, m, o, pack)
+	debugFinite32("MatMulPackInto32", dst)
+}
+
+// matMulIntoPacked32 is the shared dispatch for MatMulInto32 and
+// MatMulPackInto32, mirroring matMulIntoPacked: packed register kernel when
+// profitable, row-streaming kernel otherwise, rows fanned out across
+// goroutines for large products.
+func matMulIntoPacked32(r, m, o *Matrix32, pack *PackBuf32) {
+	usePack := pack != nil && m.Rows >= packMinRows && o.Rows > 0 && o.Cols > 0
+	var panels []float32
+	if usePack {
+		panels = pack.ensure(o.Rows * o.Cols)
+		packPanels32(panels, o)
+	}
+	if m.Rows*m.Cols*o.Cols >= parallelFlopThreshold && m.Rows > 1 {
+		parallelRows(m.Rows, func(lo, hi int) {
+			if usePack {
+				matMulPackedRows32(r, m, o, panels, lo, hi)
+			} else {
+				matMulRows32(r, m, o, lo, hi)
+			}
+		})
+		return
+	}
+	if usePack {
+		matMulPackedRows32(r, m, o, panels, 0, m.Rows)
+		return
+	}
+	matMulRows32(r, m, o, 0, m.Rows)
+}
+
+// matMulPackedRows32 computes output rows [lo, hi) of r += m·o reading o
+// through its packed panels — the float32 (8-accumulator) twin of
+// matMulPackedRows. Per output cell the accumulation order is still
+// ascending k, so the kernels32_test error envelope is unaffected by the
+// wider block.
+func matMulPackedRows32(r, m, o *Matrix32, panels []float32, lo, hi int) {
+	k, n := o.Rows, o.Cols
+	if useFMA32 && k > 0 && n >= packWidth32 {
+		matMulPackedRowsFMA32(r, m, o, panels, lo, hi)
+		return
+	}
+	for i := lo; i < hi; i++ {
+		mRow := m.Row(i)
+		rRow := r.Row(i)
+		pos := 0
+		for j0 := 0; j0 < n; j0 += packWidth32 {
+			if n-j0 >= packWidth32 {
+				d := rRow[j0 : j0+8 : j0+8]
+				s0, s1, s2, s3 := d[0], d[1], d[2], d[3]
+				s4, s5, s6, s7 := d[4], d[5], d[6], d[7]
+				p := panels[pos : pos+8*k]
+				for kk, a := range mRow {
+					q := p[8*kk : 8*kk+8 : 8*kk+8]
+					s0 += a * q[0]
+					s1 += a * q[1]
+					s2 += a * q[2]
+					s3 += a * q[3]
+					s4 += a * q[4]
+					s5 += a * q[5]
+					s6 += a * q[6]
+					s7 += a * q[7]
+				}
+				d[0], d[1], d[2], d[3] = s0, s1, s2, s3
+				d[4], d[5], d[6], d[7] = s4, s5, s6, s7
+				pos += 8 * k
+				continue
+			}
+			w := n - j0
+			for c := 0; c < w; c++ {
+				s := rRow[j0+c]
+				for kk, a := range mRow {
+					s += a * panels[pos+kk*w+c]
+				}
+				rRow[j0+c] = s
+			}
+			pos += w * k
+		}
+	}
+}
+
+// matMulRows32 computes output rows [lo, hi) of r += m·o. Unlike the
+// float64 matMulRows axpy (k outer, columns inner — every += goes through
+// rRow in memory, so each output element is a store-to-load-forwarding
+// chain k long), this runs column-block outer / k inner with eight
+// accumulators held in registers across the whole k loop. The LSTM serving
+// path calls this with m.Rows == 1 every timestep, where the axpy's memory
+// round-trips, not arithmetic, were the cost; o there is a weight matrix
+// small enough that the strided column reads stay cache-resident. Per
+// output cell the accumulation order is still ascending k.
+func matMulRows32(r, m, o *Matrix32, lo, hi int) {
+	k, n := o.Rows, o.Cols
+	if useFMA32 && k > 0 && n >= packWidth32 {
+		matMulRowsFMA32(r, m, o, lo, hi)
+		return
+	}
+	for i := lo; i < hi; i++ {
+		mRow := m.Row(i)
+		rRow := r.Row(i)
+		j := 0
+		for ; j+packWidth32 <= n; j += packWidth32 {
+			d := rRow[j : j+8 : j+8]
+			s0, s1, s2, s3 := d[0], d[1], d[2], d[3]
+			s4, s5, s6, s7 := d[4], d[5], d[6], d[7]
+			for kk := 0; kk < k; kk++ {
+				a := mRow[kk]
+				if a == 0 {
+					continue
+				}
+				q := o.Data[kk*n+j : kk*n+j+8 : kk*n+j+8]
+				s0 += a * q[0]
+				s1 += a * q[1]
+				s2 += a * q[2]
+				s3 += a * q[3]
+				s4 += a * q[4]
+				s5 += a * q[5]
+				s6 += a * q[6]
+				s7 += a * q[7]
+			}
+			d[0], d[1], d[2], d[3] = s0, s1, s2, s3
+			d[4], d[5], d[6], d[7] = s4, s5, s6, s7
+		}
+		for ; j < n; j++ {
+			s := rRow[j]
+			for kk := 0; kk < k; kk++ {
+				if a := mRow[kk]; a != 0 {
+					s += a * o.Data[kk*n+j]
+				}
+			}
+			rRow[j] = s
+		}
+	}
+}
+
+// matMulRowsFMA32 is matMulRows32's AVX2+FMA body: 32- then 8-lane fused
+// multiply-add blocks over the full-width column region, with the scalar
+// tail loop (including its a==0 skip, numerically a no-op on finite
+// operands) unchanged. Lanes are output cells, so per-cell accumulation
+// stays ascending k and the packed twin below produces bitwise-identical
+// full-region cells.
+func matMulRowsFMA32(r, m, o *Matrix32, lo, hi int) {
+	k, n := o.Rows, o.Cols
+	nf := n &^ (packWidth32 - 1)
+	for i := lo; i < hi; i++ {
+		mRow := m.Row(i)
+		rRow := r.Row(i)
+		j := 0
+		for ; j+4*packWidth32 <= nf; j += 4 * packWidth32 {
+			fmaBlock32(&rRow[j], &mRow[0], &o.Data[j], k, n)
+		}
+		for ; j < nf; j += packWidth32 {
+			fmaBlock8(&rRow[j], &mRow[0], &o.Data[j], k, n)
+		}
+		for ; j < n; j++ {
+			s := rRow[j]
+			for kk := 0; kk < k; kk++ {
+				if a := mRow[kk]; a != 0 {
+					s += a * o.Data[kk*n+j]
+				}
+			}
+			rRow[j] = s
+		}
+	}
+}
+
+// matMulPackedRowsFMA32 is matMulPackedRows32's AVX2+FMA body, streaming
+// packed panels four at a time (then singly) through the lane kernels. The
+// narrow trailing panel keeps the scalar loop. Full-region cells see the
+// exact op sequence of matMulRowsFMA32, preserving the packed/unpacked
+// bitwise agreement that TestKernelEquivalence32MatMul asserts.
+func matMulPackedRowsFMA32(r, m, o *Matrix32, panels []float32, lo, hi int) {
+	k, n := o.Rows, o.Cols
+	nf := n &^ (packWidth32 - 1)
+	for i := lo; i < hi; i++ {
+		mRow := m.Row(i)
+		rRow := r.Row(i)
+		j, pos := 0, 0
+		for ; j+4*packWidth32 <= nf; j += 4 * packWidth32 {
+			fmaPanels32(&rRow[j], &mRow[0], &panels[pos], k)
+			pos += 4 * packWidth32 * k
+		}
+		for ; j < nf; j += packWidth32 {
+			fmaBlock8(&rRow[j], &mRow[0], &panels[pos], k, packWidth32)
+			pos += packWidth32 * k
+		}
+		if w := n - nf; w > 0 {
+			for c := 0; c < w; c++ {
+				s := rRow[nf+c]
+				for kk, a := range mRow {
+					s += a * panels[pos+kk*w+c]
+				}
+				rRow[nf+c] = s
+			}
+		}
+	}
+}
+
+// matMulTransBBlocked32 sets dst = m·oᵀ with eight independent dot-product
+// accumulators per block, the widened analogue of matMulTransBBlocked.
+func matMulTransBBlocked32(dst, m, o *Matrix32) {
+	rows := o.Rows
+	for i := 0; i < m.Rows; i++ {
+		mRow := m.Row(i)
+		rRow := dst.Row(i)
+		j := 0
+		for ; j+packWidth32 <= rows; j += packWidth32 {
+			o0, o1, o2, o3 := o.Row(j), o.Row(j+1), o.Row(j+2), o.Row(j+3)
+			o4, o5, o6, o7 := o.Row(j+4), o.Row(j+5), o.Row(j+6), o.Row(j+7)
+			var s0, s1, s2, s3, s4, s5, s6, s7 float32
+			for k, a := range mRow {
+				s0 += a * o0[k]
+				s1 += a * o1[k]
+				s2 += a * o2[k]
+				s3 += a * o3[k]
+				s4 += a * o4[k]
+				s5 += a * o5[k]
+				s6 += a * o6[k]
+				s7 += a * o7[k]
+			}
+			rRow[j], rRow[j+1], rRow[j+2], rRow[j+3] = s0, s1, s2, s3
+			rRow[j+4], rRow[j+5], rRow[j+6], rRow[j+7] = s4, s5, s6, s7
+		}
+		for ; j < rows; j++ {
+			oRow := o.Row(j)
+			var s float32
+			for k, a := range mRow {
+				s += a * oRow[k]
+			}
+			rRow[j] = s
+		}
+	}
+}
+
+// matMulTransARows32 accumulates dst += mᵀ·o for k rows [lo, hi) of m with
+// the branchless axpy of matMulTransARows, unrolled 8-wide.
+func matMulTransARows32(dst, m, o *Matrix32, lo, hi int) {
+	n := o.Cols
+	for k := lo; k < hi; k++ {
+		mRow := m.Row(k)
+		oRow := o.Row(k)
+		for i, a := range mRow {
+			rRow := dst.Row(i)
+			j := 0
+			for ; j+packWidth32 <= n; j += packWidth32 {
+				q := oRow[j : j+8 : j+8]
+				s := rRow[j : j+8 : j+8]
+				s[0] += a * q[0]
+				s[1] += a * q[1]
+				s[2] += a * q[2]
+				s[3] += a * q[3]
+				s[4] += a * q[4]
+				s[5] += a * q[5]
+				s[6] += a * q[6]
+				s[7] += a * q[7]
+			}
+			for ; j < n; j++ {
+				rRow[j] += a * oRow[j]
+			}
+		}
+	}
+}
+
+// transposeBlocked32 sets dst = mᵀ tile by tile like transposeBlocked. The
+// tile edge is shared with the float64 kernel: 32×32 float32 tiles are 4 KiB
+// per operand, comfortably L1-resident.
+func transposeBlocked32(dst, m *Matrix32) {
+	rows, cols := m.Rows, m.Cols
+	for i0 := 0; i0 < rows; i0 += transposeTile {
+		iMax := i0 + transposeTile
+		if iMax > rows {
+			iMax = rows
+		}
+		for j0 := 0; j0 < cols; j0 += transposeTile {
+			jMax := j0 + transposeTile
+			if jMax > cols {
+				jMax = cols
+			}
+			for i := i0; i < iMax; i++ {
+				src := m.Data[i*cols+j0 : i*cols+jMax]
+				for jj, v := range src {
+					dst.Data[(j0+jj)*rows+i] = v
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+#include "textflag.h"
+
+// AVX2+FMA lane kernels for the float32 matmuls. Lanes are output cells:
+// every YMM register holds eight adjacent columns of one output row, and
+// each loop iteration folds one k term into all lanes with a fused
+// multiply-add. Per-cell accumulation order therefore stays ascending k,
+// matching the pure-Go kernels; only the mul->add intermediate rounding is
+// fused away, which tightens (never widens) the k-term error envelope
+// documented in kernels32.go. Callers guarantee k > 0.
+
+// func fmaBlock8(d, a, b *float32, k, stride int)
+//
+// d[0:8] += sum over kk of a[kk] * b[kk*stride : kk*stride+8].
+TEXT ·fmaBlock8(SB), NOSPLIT, $0-40
+	MOVQ d+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ k+24(FP), CX
+	MOVQ stride+32(FP), BX
+	SHLQ $2, BX
+	VMOVUPS (DI), Y0
+loop8:
+	VBROADCASTSS (SI), Y1
+	VFMADD231PS (DX), Y1, Y0
+	ADDQ $4, SI
+	ADDQ BX, DX
+	DECQ CX
+	JNZ  loop8
+	VMOVUPS Y0, (DI)
+	VZEROUPPER
+	RET
+
+// func fmaBlock32(d, a, b *float32, k, stride int)
+//
+// Four adjacent 8-lane blocks (32 columns) per pass: four independent FMA
+// dependency chains hide the FMA latency that a single-accumulator loop
+// would serialise on.
+TEXT ·fmaBlock32(SB), NOSPLIT, $0-40
+	MOVQ d+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ k+24(FP), CX
+	MOVQ stride+32(FP), BX
+	SHLQ $2, BX
+	VMOVUPS (DI), Y0
+	VMOVUPS 32(DI), Y1
+	VMOVUPS 64(DI), Y2
+	VMOVUPS 96(DI), Y3
+loop32:
+	VBROADCASTSS (SI), Y4
+	VFMADD231PS (DX), Y4, Y0
+	VFMADD231PS 32(DX), Y4, Y1
+	VFMADD231PS 64(DX), Y4, Y2
+	VFMADD231PS 96(DX), Y4, Y3
+	ADDQ $4, SI
+	ADDQ BX, DX
+	DECQ CX
+	JNZ  loop32
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VMOVUPS Y2, 64(DI)
+	VMOVUPS Y3, 96(DI)
+	VZEROUPPER
+	RET
+
+// func fmaPanels32(d, a, p *float32, k int)
+//
+// fmaBlock32 over panel-packed storage: the four 8-lane blocks stream four
+// consecutive packed panels (p, p+8k, p+16k, p+24k), each advancing 32
+// bytes per k step.
+TEXT ·fmaPanels32(SB), NOSPLIT, $0-32
+	MOVQ d+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ p+16(FP), DX
+	MOVQ k+24(FP), CX
+	MOVQ CX, BX
+	SHLQ $5, BX
+	LEAQ (DX)(BX*1), R8
+	LEAQ (R8)(BX*1), R9
+	LEAQ (R9)(BX*1), R10
+	VMOVUPS (DI), Y0
+	VMOVUPS 32(DI), Y1
+	VMOVUPS 64(DI), Y2
+	VMOVUPS 96(DI), Y3
+looppanels:
+	VBROADCASTSS (SI), Y4
+	VFMADD231PS (DX), Y4, Y0
+	VFMADD231PS (R8), Y4, Y1
+	VFMADD231PS (R9), Y4, Y2
+	VFMADD231PS (R10), Y4, Y3
+	ADDQ $4, SI
+	ADDQ $32, DX
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $32, R10
+	DECQ CX
+	JNZ  looppanels
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VMOVUPS Y2, 64(DI)
+	VMOVUPS Y3, 96(DI)
+	VZEROUPPER
+	RET

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 targets run the pure-Go float32 kernel bodies; the FMA lane
+// kernels are never dispatched (useFMA32 is constant false, so the branches
+// compile away) and these stubs exist only to satisfy the references.
+const useFMA32 = false
+
+func fmaBlock8(d, a, b *float32, k, stride int)  { panic("tensor: fmaBlock8 without FMA support") }
+func fmaBlock32(d, a, b *float32, k, stride int) { panic("tensor: fmaBlock32 without FMA support") }
+func fmaPanels32(d, a, p *float32, k int)        { panic("tensor: fmaPanels32 without FMA support") }

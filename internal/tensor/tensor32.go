@@ -1,0 +1,171 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix32 is a dense, row-major float32 matrix — the storage type of the
+// distilled-student inference tier. It mirrors Matrix's API surface (the
+// subset inference needs) with concrete float32 code rather than generics:
+// the float64 kernels carry a bitwise-identity contract with their reference
+// implementations that a shared generic body would put at risk, and the two
+// element types want different tolerance and accumulation treatment anyway
+// (see kernels32.go).
+//
+// Matrix32 halves the bytes moved per matmul relative to Matrix. The
+// serving models here are small enough to be memory-bandwidth-bound, so the
+// student tier's speedup comes almost entirely from this width change; the
+// loop structure is identical.
+type Matrix32 struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New32 returns a zero float32 matrix with the given shape. It panics if
+// either dimension is non-positive, like New.
+func New32(rows, cols int) *Matrix32 {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix32{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice32 wraps data in a matrix of the given shape. The slice is used
+// directly, not copied; len(data) must equal rows*cols.
+func FromSlice32(rows, cols int, data []float32) *Matrix32 {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %dx%d", len(data), rows, cols))
+	}
+	return &Matrix32{Rows: rows, Cols: cols, Data: data}
+}
+
+// ToMatrix32 converts a float64 matrix to float32, rounding each entry to
+// nearest. This is the model-distillation boundary: teacher parameters cross
+// it exactly once, at student construction or snapshot conversion.
+func ToMatrix32(m *Matrix) *Matrix32 {
+	if len(m.Data) != m.Rows*m.Cols {
+		panic(fmt.Sprintf("tensor: ToMatrix32 data length %d does not match shape %dx%d", len(m.Data), m.Rows, m.Cols))
+	}
+	r := FromSlice32(m.Rows, m.Cols, make([]float32, len(m.Data)))
+	for i, v := range m.Data {
+		r.Data[i] = float32(v)
+	}
+	return r
+}
+
+// ToMatrix widens m back to float64 exactly (every float32 is representable
+// as a float64). Used by tests and snapshot round-trips.
+func (m *Matrix32) ToMatrix() *Matrix {
+	r := FromSlice(m.Rows, m.Cols, make([]float64, len(m.Data)))
+	for i, v := range m.Data {
+		r.Data[i] = float64(v)
+	}
+	return r
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix32) Clone() *Matrix32 {
+	c := New32(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix32) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix32) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (shares the underlying storage).
+func (m *Matrix32) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// SameShape reports whether m and o have identical dimensions.
+func (m *Matrix32) SameShape(o *Matrix32) bool { return m.Rows == o.Rows && m.Cols == o.Cols }
+
+// Zero sets every entry of m to zero in place.
+func (m *Matrix32) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+func (m *Matrix32) shapeCheck(o *Matrix32, op string) {
+	if !m.SameShape(o) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+// ArgmaxRow returns the column index of the largest entry in row i.
+func (m *Matrix32) ArgmaxRow(i int) int {
+	row := m.Row(i)
+	best := 0
+	for j, v := range row[1:] {
+		if v > row[best] {
+			best = j + 1
+		}
+	}
+	return best
+}
+
+// Equal reports whether m and o have the same shape and entries within tol.
+func (m *Matrix32) Equal(o *Matrix32, tol float32) bool {
+	if !m.SameShape(o) {
+		return false
+	}
+	for i, v := range m.Data {
+		d := v - o.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// softmaxInto32 computes a numerically stable softmax of src into dst with
+// the same max-subtraction trick as softmaxInto. Exponentials and the
+// normalising sum run in float64 — the accumulation is the one place a
+// float32 softmax visibly loses precision over long rows, and the widened
+// intermediate costs nothing on modern hardware.
+func softmaxInto32(dst, src []float32) {
+	mx := src[0]
+	for _, v := range src[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	var sum float64
+	for j, v := range src {
+		e := math.Exp(float64(v - mx))
+		dst[j] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for j := range dst {
+		dst[j] *= inv
+	}
+}
+
+// String renders a small matrix for debugging; large matrices are
+// abbreviated to their shape.
+func (m *Matrix32) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Matrix32(%dx%d)", m.Rows, m.Cols)
+	}
+	s := fmt.Sprintf("Matrix32(%dx%d)[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}

@@ -215,6 +215,29 @@ func TestGoldenModelSnapshot(t *testing.T) {
 	}
 }
 
+// TestGoldenModelSnapshotV1 pins backward compatibility: the committed
+// version-1 model bundle (written before the container gained float32
+// slabs) must keep decoding to the same model forever.
+func TestGoldenModelSnapshotV1(t *testing.T) {
+	disk, err := os.ReadFile(filepath.Join("testdata", "model-golden-v1.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv1, _, err := DecodeSnapshot(disk)
+	if err != nil {
+		t.Fatalf("version-1 model snapshot rejected: %v", err)
+	}
+	m, _, insts := trainedTestModel(t)
+	assertSameParams(t, m, mv1)
+	got := GenerateTopic(mv1, insts[0], 1, 4)
+	want := GenerateTopic(m, insts[0], 1, 4)
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("v1 golden model predicts %v, want %v", got, want)
+		}
+	}
+}
+
 // FuzzDecodeSnapshot: the wb-level decoder must never panic on arbitrary
 // bytes — corrupt models fail closed at startup.
 func FuzzDecodeSnapshot(f *testing.F) {

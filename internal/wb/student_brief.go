@@ -1,0 +1,199 @@
+package wb
+
+import (
+	"webbrief/internal/ag"
+	"webbrief/internal/eval"
+	"webbrief/internal/nn"
+	"webbrief/internal/tensor"
+	"webbrief/internal/textproc"
+)
+
+// InferScratch32 is the student tier's per-call inference workspace: a
+// value-level float32 tape, its matmul pack buffer and the beam-search
+// buffers. Same ownership contract as InferScratch — one in-flight request
+// at a time, tape reset at the START of each forward, returned Briefs never
+// alias the arena.
+type InferScratch32 struct {
+	Tape *ag.Tape32
+	Pack *tensor.PackBuf32
+	Beam *nn.BeamScratch32
+}
+
+// NewInferScratch32 returns an empty student workspace whose buffers grow on
+// first use.
+func NewInferScratch32() *InferScratch32 {
+	s := &InferScratch32{
+		Tape: ag.NewInferTape32(),
+		Pack: &tensor.PackBuf32{},
+		Beam: nn.NewBeamScratch32(0, 0, 0),
+	}
+	s.Tape.SetPack(s.Pack)
+	return s
+}
+
+// NewInferScratch32For presizes the beam buffers for decoding v-vocabulary
+// topics at the given beam width, mirroring NewInferScratchFor.
+func NewInferScratch32For(v *textproc.Vocab, beamWidth int) *InferScratch32 {
+	s := NewInferScratch32()
+	if beamWidth > 1 && v != nil {
+		s.Beam = nn.NewBeamScratch32(v.Size(), beamWidth, topicMaxLen)
+	}
+	return s
+}
+
+// ExtractBriefWith32 is the student's ExtractBriefWith: one Eval forward on
+// the float32 tape, then the extractive brief assembly.
+func ExtractBriefWith32(m *JointWB32, inst *Instance, v *textproc.Vocab, s *InferScratch32) *Brief {
+	s.Tape.Reset()
+	out := m.Forward(s.Tape, inst)
+	return extractiveBrief32(out, inst, v)
+}
+
+// extractiveBrief32 assembles the extractive half of a briefing from a
+// student forward-pass output, mirroring extractiveBrief.
+func extractiveBrief32(out *Output32, inst *Instance, v *textproc.Vocab) *Brief {
+	b := &Brief{}
+	if tags := PredictTags32(out); tags != nil {
+		for _, sp := range eval.SpansFromBIO(tags) {
+			var words []string
+			for i := sp.Start; i < sp.End; i++ {
+				words = append(words, v.Token(inst.IDs[i]))
+			}
+			b.Attributes = append(b.Attributes, words)
+		}
+	}
+	b.Sections = PredictSections32(out)
+	return b
+}
+
+// GenerateTopicWith32 is the student's GenerateTopicWith: it resets the
+// tape, re-runs the full forward and decodes the topic, reporting the
+// decode Confidence the cascade routes on.
+func GenerateTopicWith32(m *JointWB32, inst *Instance, beamWidth, maxLen int, s *InferScratch32) ([]int, nn.Confidence) {
+	s.Tape.Reset()
+	out := m.Forward(s.Tape, inst)
+	if beamWidth <= 1 {
+		return out.Dec.Greedy(s.Tape, out.Memory, textproc.BosID, textproc.EosID, maxLen)
+	}
+	return out.Dec.BeamSearchScratch(s.Tape, out.Memory, textproc.BosID, textproc.EosID, beamWidth, maxLen, s.Beam)
+}
+
+// DecodeTopicWith32 is the student's DecodeTopicWith, additionally
+// reporting decode confidence.
+func DecodeTopicWith32(m *JointWB32, inst *Instance, v *textproc.Vocab, beamWidth int, s *InferScratch32) ([]string, nn.Confidence) {
+	ids, conf := GenerateTopicWith32(m, inst, beamWidth, topicMaxLen, s)
+	if ids == nil {
+		return nil, conf
+	}
+	return v.Tokens(ids), conf
+}
+
+// MakeBriefWith32 briefs one instance end to end on the student and reports
+// the decode confidence for cascade routing.
+func MakeBriefWith32(m *JointWB32, inst *Instance, v *textproc.Vocab, beamWidth int, s *InferScratch32) (*Brief, nn.Confidence) {
+	b := ExtractBriefWith32(m, inst, v, s)
+	topic, conf := DecodeTopicWith32(m, inst, v, beamWidth, s)
+	b.Topic = topic
+	return b, conf
+}
+
+// BatchScratch32 is the student's batched workspace, mirroring BatchScratch:
+// one float32 tape and pack buffer shared by the micro-batch plus a beam
+// scratch per slot.
+type BatchScratch32 struct {
+	Tape  *ag.Tape32
+	Pack  *tensor.PackBuf32
+	beams []*nn.BeamScratch32
+
+	vocabSize int // beam scratch presizing, 0 = lazy
+	width     int
+	maxLen    int
+}
+
+// NewBatchScratch32 returns an empty batched student workspace.
+func NewBatchScratch32() *BatchScratch32 {
+	s := &BatchScratch32{
+		Tape: ag.NewInferTape32(),
+		Pack: &tensor.PackBuf32{},
+	}
+	s.Tape.SetPack(s.Pack)
+	return s
+}
+
+// NewBatchScratch32For presizes the workspace like NewBatchScratchFor.
+func NewBatchScratch32For(v *textproc.Vocab, beamWidth, batchMax int) *BatchScratch32 {
+	s := NewBatchScratch32()
+	if beamWidth > 1 && v != nil {
+		s.vocabSize, s.width, s.maxLen = v.Size(), beamWidth, topicMaxLen
+		s.beamScratches(batchMax)
+	}
+	return s
+}
+
+// beamScratches returns n per-slot beam scratches, growing on demand.
+func (s *BatchScratch32) beamScratches(n int) []*nn.BeamScratch32 {
+	for len(s.beams) < n {
+		s.beams = append(s.beams, nn.NewBeamScratch32(s.vocabSize, s.width, s.maxLen))
+	}
+	return s.beams[:n]
+}
+
+// ExtractBriefBatch32 runs the student's batched Eval forward for every
+// instance on the shared tape and assembles each extractive brief. The
+// returned Outputs feed DecodeTopicBatch32 and die at the next reset.
+func ExtractBriefBatch32(m *JointWB32, insts []*Instance, v *textproc.Vocab, s *BatchScratch32) ([]*Brief, []*Output32) {
+	s.Tape.Reset()
+	var outs []*Output32
+	if len(insts) > 1 {
+		outs = m.ForwardBatchEval(s.Tape, insts)
+	} else {
+		outs = make([]*Output32, len(insts))
+		for i, inst := range insts {
+			outs[i] = m.Forward(s.Tape, inst)
+		}
+	}
+	briefs := make([]*Brief, len(insts))
+	for i, out := range outs {
+		briefs[i] = extractiveBrief32(out, insts[i], v)
+	}
+	return briefs, outs
+}
+
+// DecodeTopicBatch32 fills briefs[i].Topic from outs[i] and returns each
+// instance's decode confidence, mirroring DecodeTopicBatch. Beam widths > 1
+// run one batched float32 beam search; width ≤ 1 decodes each greedily.
+func DecodeTopicBatch32(m *JointWB32, insts []*Instance, outs []*Output32, v *textproc.Vocab, beamWidth int, s *BatchScratch32, briefs []*Brief) []nn.Confidence {
+	confs := make([]nn.Confidence, len(outs))
+	if beamWidth <= 1 {
+		for i, out := range outs {
+			ids, conf := out.Dec.Greedy(s.Tape, out.Memory, textproc.BosID, textproc.EosID, topicMaxLen)
+			confs[i] = conf
+			if ids != nil {
+				briefs[i].Topic = v.Tokens(ids)
+			}
+		}
+		return confs
+	}
+	mems := make([]*tensor.Matrix32, len(outs))
+	for i, out := range outs {
+		mems[i] = out.Memory
+	}
+	dec := m.Dec
+	tokIDs, beamConfs := dec.BeamSearchBatch(s.Tape, mems, textproc.BosID, textproc.EosID,
+		beamWidth, topicMaxLen, s.beamScratches(len(outs)))
+	for i := range outs {
+		confs[i] = beamConfs[i]
+		if tokIDs[i] != nil {
+			briefs[i].Topic = v.Tokens(tokIDs[i])
+		}
+	}
+	return confs
+}
+
+// MakeBriefBatch32 briefs a micro-batch end to end on the student and
+// returns per-instance decode confidences alongside the briefs.
+func MakeBriefBatch32(m *JointWB32, insts []*Instance, v *textproc.Vocab, beamWidth int, s *BatchScratch32) ([]*Brief, []nn.Confidence) {
+	briefs, outs := ExtractBriefBatch32(m, insts, v, s)
+	confs := DecodeTopicBatch32(m, insts, outs, v, beamWidth, s, briefs)
+	return briefs, confs
+}

@@ -1,0 +1,292 @@
+package wb
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"webbrief/internal/eval"
+	"webbrief/internal/nn"
+)
+
+// studentFromTeacher converts a trained teacher, failing the test on error.
+func studentFromTeacher(t testing.TB, m *JointWB) *JointWB32 {
+	t.Helper()
+	st, err := ConvertJointWB(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestConvertJointWBRequiresGloVe: the float32 student only exists for the
+// GloVe regime; transformer-encoder models must be refused, not mangled.
+func TestConvertJointWBRequiresGloVe(t *testing.T) {
+	_, v := testData(t, 1, 1)
+	rng := rand.New(rand.NewSource(4))
+	cfg := nn.TransformerConfig{Vocab: v.Size(), Dim: 12, Heads: 2, Layers: 1, FFDim: 24, MaxLen: 32, Segments: 2}
+	enc := NewBERTEncoder("bert", cfg, false, rng)
+	m := NewJointWB("Joint-WB", enc, v.Size(), DefaultConfig())
+	if _, err := ConvertJointWB(m); err == nil {
+		t.Fatal("BERT-encoder model converted to a float32 student")
+	}
+}
+
+// TestStudentSecLogitsMatchTeacher: the section head runs no decode pass, so
+// its student logits must track the teacher within the float32 kernel
+// tier's error envelope on every instance — the end-to-end numerical
+// accuracy contract for the encoder + BiLSTM + section predictor stack.
+func TestStudentSecLogitsMatchTeacher(t *testing.T) {
+	m, v, insts := trainedTestModel(t)
+	_ = v
+	st := studentFromTeacher(t, m)
+	s64 := NewInferScratch()
+	s32 := NewInferScratch32()
+	const tol = 1e-3 // |err| ≤ tol·(1+|logit|); generous vs the ~1e-5 observed
+	for k, inst := range insts {
+		s64.Tape.Reset()
+		out := m.Forward(s64.Tape, inst, Eval)
+		s32.Tape.Reset()
+		out32 := st.Forward(s32.Tape, inst)
+		if out32.SecLogits.Rows != out.SecLogits.Rows() {
+			t.Fatalf("inst %d: section logit rows %d vs %d", k, out32.SecLogits.Rows, out.SecLogits.Rows())
+		}
+		for i := 0; i < out32.SecLogits.Rows; i++ {
+			want := out.SecLogits.Value.At(i, 0)
+			got := float64(out32.SecLogits.At(i, 0))
+			if math.Abs(got-want) > tol*(1+math.Abs(want)) {
+				t.Fatalf("inst %d sentence %d: student logit %g, teacher %g", k, i, got, want)
+			}
+		}
+	}
+}
+
+// TestStudentExtractionQuality is the cascade quality gate: on the eval
+// suite, the student-only extraction F1 must sit within epsilon of the
+// teacher's. A float32 round-off that flips argmaxes at scale would trip
+// this long before it trips the per-kernel tolerance tests.
+func TestStudentExtractionQuality(t *testing.T) {
+	m, v, insts := trainedTestModel(t)
+	_ = v
+	st := studentFromTeacher(t, m)
+	s64 := NewInferScratch()
+	s32 := NewInferScratch32()
+	gold := make([][]eval.Span, len(insts))
+	pt := make([][]eval.Span, len(insts))
+	ps := make([][]eval.Span, len(insts))
+	for i, inst := range insts {
+		gold[i] = eval.SpansFromBIO(inst.Tags)
+		s64.Tape.Reset()
+		pt[i] = eval.SpansFromBIO(PredictTags(m.Forward(s64.Tape, inst, Eval)))
+		s32.Tape.Reset()
+		ps[i] = eval.SpansFromBIO(PredictTags32(st.Forward(s32.Tape, inst)))
+	}
+	teacher := eval.SpanPRF1(pt, gold)
+	student := eval.SpanPRF1(ps, gold)
+	const epsilon = 2.0 // F1 percentage points
+	if math.Abs(student.F1-teacher.F1) > epsilon {
+		t.Fatalf("student extraction F1 %.2f drifted more than %.1f points from teacher %.2f",
+			student.F1, epsilon, teacher.F1)
+	}
+}
+
+// TestStudentBatchMatchesSerial: the batched student path must brief
+// identically to width-many serial student calls, and report the same
+// confidences — the same contract the float64 batch tier keeps.
+func TestStudentBatchMatchesSerial(t *testing.T) {
+	m, v, insts := trainedTestModel(t)
+	st := studentFromTeacher(t, m)
+	for _, width := range []int{1, 3} {
+		serialScratch := NewInferScratch32For(v, width)
+		wantBriefs := make([]*Brief, len(insts))
+		wantConfs := make([]nn.Confidence, len(insts))
+		for i, inst := range insts {
+			wantBriefs[i], wantConfs[i] = MakeBriefWith32(st, inst, v, width, serialScratch)
+		}
+		batchScratch := NewBatchScratch32For(v, width, len(insts))
+		gotBriefs, gotConfs := MakeBriefBatch32(st, insts, v, width, batchScratch)
+		for i := range insts {
+			if !reflect.DeepEqual(gotBriefs[i], wantBriefs[i]) {
+				t.Fatalf("width %d inst %d: batched student brief diverges:\nbatch  %+v\nserial %+v",
+					width, i, gotBriefs[i], wantBriefs[i])
+			}
+			if gotConfs[i] != wantConfs[i] {
+				t.Fatalf("width %d inst %d: batched confidence %+v, serial %+v",
+					width, i, gotConfs[i], wantConfs[i])
+			}
+		}
+	}
+}
+
+// TestStudentSnapshotChain walks the whole persistence lineage: legacy gob
+// bundle → float64 snapshot → live conversion → float32 student snapshot.
+// Every hop must preserve briefs, and the student snapshot must restore the
+// converted weights bit-exactly.
+func TestStudentSnapshotChain(t *testing.T) {
+	m, v, insts := trainedTestModel(t)
+
+	// Hop 1: gob bundle round trip (the legacy training artifact).
+	var gobBuf bytes.Buffer
+	if err := SaveJointWB(&gobBuf, m, v); err != nil {
+		t.Fatal(err)
+	}
+	fromGob, vGob, err := LoadJointWB(bytes.NewReader(gobBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hop 2: float64 snapshot of the gob-loaded model.
+	snapData, err := EncodeSnapshot(fromGob, vGob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	teacher, vSnap, err := DecodeSnapshot(snapData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameParams(t, m, teacher)
+
+	// Hop 3: float32 student snapshot of the converted teacher.
+	st := studentFromTeacher(t, teacher)
+	stData, err := EncodeStudentSnapshot(st, vSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, v2, err := DecodeStudentSnapshot(stData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Size() != v.Size() {
+		t.Fatalf("student vocab size %d, want %d", v2.Size(), v.Size())
+	}
+	pa, pb := st.params32(), st2.params32()
+	if len(pa) != len(pb) {
+		t.Fatalf("student param count %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i].name != pb[i].name {
+			t.Fatalf("student param %d name %q vs %q", i, pa[i].name, pb[i].name)
+		}
+		va, vb := pa[i].m, pb[i].m
+		if va.Rows != vb.Rows || va.Cols != vb.Cols {
+			t.Fatalf("student param %s shape %dx%d vs %dx%d", pa[i].name, va.Rows, va.Cols, vb.Rows, vb.Cols)
+		}
+		for j := range va.Data {
+			if math.Float32bits(va.Data[j]) != math.Float32bits(vb.Data[j]) {
+				t.Fatalf("student param %s value %d not bit-exact", pa[i].name, j)
+			}
+		}
+	}
+
+	// The restored student briefs identically to the converted one.
+	sa, sb := NewInferScratch32For(v, 2), NewInferScratch32For(v2, 2)
+	for i, inst := range insts[:2] {
+		wantB, wantC := MakeBriefWith32(st, inst, v, 2, sa)
+		gotB, gotC := MakeBriefWith32(st2, inst, v2, 2, sb)
+		if !reflect.DeepEqual(gotB, wantB) || gotC != wantC {
+			t.Fatalf("inst %d: restored student diverges", i)
+		}
+	}
+}
+
+// TestDecodeStudentSnapshotRejectsCorruption: the student loader inherits
+// container corruption detection and adds its own name/shape validation.
+func TestDecodeStudentSnapshotRejectsCorruption(t *testing.T) {
+	m, v, _ := trainedTestModel(t)
+	st := studentFromTeacher(t, m)
+	data, err := EncodeStudentSnapshot(st, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 7, len(data) / 2, len(data) - 5} {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x10
+		if _, _, err := DecodeStudentSnapshot(mut); err == nil {
+			t.Fatalf("bit flip at %d accepted", i)
+		}
+	}
+	if _, _, err := DecodeStudentSnapshot(data[:len(data)/2]); err == nil {
+		t.Fatal("truncation accepted")
+	}
+	// A teacher snapshot is not a student snapshot.
+	teacherData, err := EncodeSnapshot(m, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeStudentSnapshot(teacherData); err == nil {
+		t.Fatal("teacher snapshot decoded as a student")
+	}
+}
+
+// FuzzDecodeStudentSnapshot: arbitrary bytes must fail closed, never panic.
+func FuzzDecodeStudentSnapshot(f *testing.F) {
+	insts, v := testData(f, 1, 1)
+	_ = insts
+	m := newTestJointWB(v, 7)
+	st, err := ConvertJointWB(m)
+	if err != nil {
+		f.Fatal(err)
+	}
+	data, err := EncodeStudentSnapshot(st, v)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add(data[:len(data)/2])
+	f.Add([]byte("WBSNAP"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		DecodeStudentSnapshot(b)
+	})
+}
+
+// BenchmarkCascadeTiers measures the two cascade tiers head to head: the
+// same instance briefed end to end (encode + topic decode) on the warm
+// scratch fast path by the float64 teacher and by its float32 student. The
+// ratio is the cascade's payoff per student-answered briefing.
+//
+// Two model scales bracket the cost regimes. toy-h16 is the unit-test
+// configuration — so small that library transcendentals and per-step tape
+// overhead dominate, and the float32 tier's bandwidth/register-width edge
+// has nothing to bite on. paper-h108 is the configuration the source paper
+// serves (GloVe d=50, Hidden=108), where the h² matmul work dominates and
+// the float32 kernels' halved traffic and doubled register block pay off;
+// that sub-benchmark is the cascade's headline number in BENCH_6.json.
+func BenchmarkCascadeTiers(b *testing.B) {
+	insts, v := testData(b, 1, 2)
+	inst := insts[0]
+	const beam = 4
+	for _, sc := range []struct {
+		name        string
+		dim, hidden int
+	}{
+		{"toy-h16", 16, 16},
+		{"paper-h108", 50, 108},
+	} {
+		enc := smallGloVeEncoder(v, sc.dim, 313)
+		cfg := DefaultConfig()
+		cfg.Hidden = sc.hidden
+		cfg.Seed = 313
+		m := NewJointWB("jwb", enc, v.Size(), cfg)
+		b.Run(sc.name+"/teacher-f64", func(b *testing.B) {
+			s := NewInferScratchFor(v, beam)
+			MakeBriefWith(m, inst, v, beam, s)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MakeBriefWith(m, inst, v, beam, s)
+			}
+		})
+		b.Run(sc.name+"/student-f32", func(b *testing.B) {
+			sm := studentFromTeacher(b, m)
+			s := NewInferScratch32For(v, beam)
+			MakeBriefWith32(sm, inst, v, beam, s)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MakeBriefWith32(sm, inst, v, beam, s)
+			}
+		})
+	}
+}

@@ -22,7 +22,7 @@ OUT=bench-out
 mkdir -p "$OUT"
 
 echo "== serving path (full HTTP: parse, admission, 3-stage briefing, JSON)"
-go test -bench 'ServeBrief$|ServeBriefSerialMutex' -benchtime "$BENCHTIME" -run '^$' -benchmem -cpu 1 . \
+go test -bench 'ServeBrief$|ServeBriefSerialMutex|ServeBriefCascade' -benchtime "$BENCHTIME" -run '^$' -benchmem -cpu 1 . \
     | tee "$OUT/serve.txt"
 
 echo "== throughput vs concurrency (micro-batching off/on, clients 1/4/16)"
@@ -41,9 +41,13 @@ echo "== warm scratch fast path (wb.MakeBriefWith, no HTTP)"
 go test -bench 'MakeBriefScratch' -benchtime "$BENCHTIME" -run '^$' -benchmem ./internal/wb \
     | tee "$OUT/scratch.txt"
 
-echo "== matmul / transpose kernels (naive reference vs blocked vs packed)"
+echo "== matmul / transpose kernels (naive reference vs blocked vs packed, f64 + f32)"
 go test -bench 'Kernels' -benchtime "$BENCHTIME" -run '^$' -benchmem ./internal/tensor \
     | tee "$OUT/kernels.txt"
+
+echo "== cascade tiers (f64 teacher vs f32 student, encode + topic decode, toy + paper scale)"
+go test -bench 'CascadeTiers' -benchtime "$BENCHTIME" -run '^$' -benchmem ./internal/wb \
+    | tee "$OUT/cascade.txt"
 
 GOVER=$(go env GOVERSION)
 GOOS=$(go env GOOS)
@@ -72,5 +76,5 @@ cat > "$OUT/BENCH_${N}.skeleton.json" <<EOF
 EOF
 
 echo
-echo "raw output in $OUT/{serve,concurrency,cachehit,coldboot,scratch,kernels}.txt"
+echo "raw output in $OUT/{serve,concurrency,cachehit,coldboot,scratch,kernels,cascade}.txt"
 echo "skeleton written to $OUT/BENCH_${N}.skeleton.json — fill before/after/summary and move to BENCH_${N}.json"

@@ -56,6 +56,13 @@ go test -race -run 'TestChaosServeBatchedSoak' ./internal/serve
 echo "== cached chaos gate (cache on, one replica faulted, >=99% success, no garbage cached)"
 go test -race -run 'TestChaosServeCachedSoak' ./internal/serve
 
+echo "== cascade equivalence (float32 student vs float64 teacher: wire bytes, tier partition, quality gate)"
+go test -race -run 'TestCascade' ./internal/serve
+go test -run 'TestStudent|TestConvertJointWB' ./internal/wb
+
+echo "== float32 kernel bench smoke (Kernels32 benchmarks stay runnable)"
+go test -run '^$' -bench 'Kernels32' -benchtime 1x ./internal/tensor >/dev/null
+
 echo "== wbserve smoke (train tiny bundle, boot, curl /brief + /metrics, drain)"
 SMOKEDIR=$(mktemp -d)
 SERVE_PID=""
@@ -132,6 +139,33 @@ kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
 echo "   wbserve cached smoke ok"
+
+echo "== wbserve cascade smoke (-cascade on, student tier serves, /metrics cascade block reconciles)"
+go run ./cmd/wbsnap -in "$SMOKEDIR/model.bin" -out "$SMOKEDIR/student.snap" -student
+go run ./cmd/wbsnap -info "$SMOKEDIR/student.snap" | grep -q 'jointwb32/params.*float32'
+"$SMOKEDIR/wbserve" -model "$SMOKEDIR/model.bin" -addr 127.0.0.1:18083 -replicas 2 -queue 8 \
+    -cascade -confidence-threshold 0.5 -quiet &
+SERVE_PID=$!
+for i in $(seq 1 50); do
+    curl -sf http://127.0.0.1:18083/healthz >/dev/null 2>&1 && break
+    sleep 0.2
+done
+PAGE='<html><body><h1>title : novel edition</h1><div>price : $ 9.99</div></body></html>'
+printf '%s' "$PAGE" | curl -sf --data-binary @- http://127.0.0.1:18083/brief | grep -q '"Topic"'
+curl -sf http://127.0.0.1:18083/metrics | python3 -c '
+import json,sys
+m = json.load(sys.stdin)
+c = m["cascade"]
+assert c["enabled"] and c["confidence_threshold"] == 0.5, c
+t = c["tiers"]
+assert c["cascade_requests_total"] == 1 == t["student_total"] + t["teacher_total"], c
+assert c["latency_ms"]["student"]["count"] == 1, c
+assert c["latency_ms"]["teacher"]["count"] == t["teacher_total"], c
+'
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+echo "   wbserve cascade smoke ok"
 
 if [[ "$FUZZTIME" != "0" ]]; then
     echo "== fuzz smoke (${FUZZTIME} per target)"
