@@ -48,6 +48,16 @@
 // The -model flag accepts the legacy gob bundle or the binary snapshot
 // format (wbtrain -format snapshot, or convert with wbsnap); the encoding
 // is sniffed from the file's magic bytes.
+//
+// The model hot-reloads with zero downtime: SIGHUP (or POST /admin/reload)
+// re-reads -model, builds and warms a shadow replica pool off-path, and
+// atomically swaps it in — in-flight briefings finish on the old
+// generation, new admissions brief on the new one. The serving generation
+// is visible in /metrics under "reload". Disable the signal handler with
+// -reload-signal=false (the admin endpoint still works):
+//
+//	wbtrain ... -o model.bin        # write a new bundle in place
+//	kill -HUP $(pidof wbserve)      # swap it in without dropping a request
 package main
 
 import (
@@ -64,6 +74,7 @@ import (
 	"webbrief/internal/briefcache"
 	"webbrief/internal/fault"
 	"webbrief/internal/serve"
+	"webbrief/internal/textproc"
 	"webbrief/internal/wb"
 )
 
@@ -94,6 +105,7 @@ func main() {
 	cacheShards := flag.Int("cache-shards", 0, "cache shard count (0 = default)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "default cache entry lifetime (0 = entries never expire)")
 	cachePolicyPath := flag.String("cache-policy", "", "per-domain admission/TTL policy file (deny/ttl/default lines; keyed by ?src=)")
+	reloadSignal := flag.Bool("reload-signal", true, "hot-reload the -model bundle on SIGHUP (zero downtime; POST /admin/reload always works)")
 	flag.Parse()
 
 	f, err := os.Open(*modelPath)
@@ -139,6 +151,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	srv.SetReloadSource(func() (*wb.JointWB, *textproc.Vocab, error) {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		return wb.LoadModelAuto(f)
+	})
 
 	if *warm {
 		start := time.Now()
@@ -167,6 +187,24 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *reloadSignal {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		//wbcheck:ignore goshutdown -- reload listener lives for the whole process; it exits with it
+		go func() {
+			for range hup {
+				start := time.Now()
+				gen, err := srv.ReloadFromSource()
+				if err != nil {
+					log.Printf("reload: %v (old model keeps serving)", err)
+					continue
+				}
+				log.Printf("reloaded %s: generation %d live in %v",
+					*modelPath, gen, time.Since(start).Round(time.Millisecond))
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	//wbcheck:ignore goshutdown -- accept loop lives for the whole process; ListenAndServe returns when Shutdown below closes the listener, and the buffered errc send never leaks it

@@ -1,11 +1,12 @@
 // Package metricpart defines a wbcheck pass keeping the /metrics total
 // partitions exact as outcome counters are added. It applies to any package
 // declaring a `Metrics` struct with a `Requests atomic.Int64` field
-// (internal/serve today) and enforces three clauses of one contract, for
-// each partition the struct carries (the partitions table below —
-// requests_total always, cache_lookups_total when the struct has a
-// CacheLookups counter, cascade_requests_total when it has a
-// CascadeRequests counter):
+// (internal/serve and internal/gateway today) and enforces three clauses
+// of one contract, for each partition the struct carries (the partitions
+// table below — requests_total always, cache_lookups_total when the struct
+// has a CacheLookups counter, cascade_requests_total when it has a
+// CascadeRequests counter, backend_requests_total when it has a
+// BackendRequests counter):
 //
 //  1. the package declares the partition's registry — a []string of the
 //     atomic.Int64 Metrics field names that partition the total — and every
@@ -58,6 +59,7 @@ var partitions = []partitionSpec{
 	{total: "Requests", registry: "requestOutcomeFields", snapshot: "Responses", metric: "requests_total"},
 	{total: "CacheLookups", registry: "cacheOutcomeFields", snapshot: "CacheOutcomes", metric: "cache_lookups_total"},
 	{total: "CascadeRequests", registry: "cascadeOutcomeFields", snapshot: "CascadeTiers", metric: "cascade_requests_total"},
+	{total: "BackendRequests", registry: "backendOutcomeFields", snapshot: "BackendOutcomes", metric: "backend_requests_total"},
 }
 
 func run(pass *analysis.Pass) {

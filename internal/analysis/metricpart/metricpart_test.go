@@ -18,3 +18,7 @@ func TestMetricpartCachePartition(t *testing.T) {
 func TestMetricpartCascadePartition(t *testing.T) {
 	analysistest.Run(t, metricpart.Analyzer, "./testdata/src/cascade")
 }
+
+func TestMetricpartBackendPartition(t *testing.T) {
+	analysistest.Run(t, metricpart.Analyzer, "./testdata/src/backend")
+}

@@ -1,0 +1,70 @@
+// Package backend is the backend-partition metricpart fixture: a gateway-
+// shaped Metrics struct carrying a clean requests_total partition plus a
+// backend_requests_total partition with a stale registry entry, a
+// BackendOutcomes snapshot block drifted both ways, and an unregistered
+// per-attempt counter bumped at an outcome site.
+package backend
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Metrics carries both totals, so both partition specs apply.
+type Metrics struct {
+	Requests atomic.Int64
+	Proxied  atomic.Int64
+
+	BackendRequests atomic.Int64
+	BackendOK       atomic.Int64
+	BackendError    atomic.Int64
+	BackendDropped  atomic.Int64 // attempt outcome nobody registered
+}
+
+var requestOutcomeFields = []string{
+	"Proxied",
+}
+
+var backendOutcomeFields = []string{
+	"BackendOK",
+	"BackendError",
+	"BackendGhost", // want "not an atomic.Int64 field"
+}
+
+type snapshot struct {
+	RequestsTotal int64 `json:"requests_total"`
+	Responses     struct {
+		Proxied int64 `json:"proxied"`
+	} `json:"responses"`
+	BackendRequestsTotal int64    `json:"backend_requests_total"`
+	BackendOutcomes      struct { // want "registered outcome BackendError is missing"
+		BackendOK int64 `json:"backend_ok_total"`
+		Stray     int64 `json:"stray"` // want "not a registered outcome"
+	} `json:"outcomes"`
+}
+
+// Snapshot keeps the fixture types and fields referenced.
+func Snapshot(m *Metrics) snapshot {
+	var s snapshot
+	s.RequestsTotal = m.Requests.Load()
+	s.Responses.Proxied = m.Proxied.Load()
+	s.BackendRequestsTotal = m.BackendRequests.Load()
+	s.BackendOutcomes.BackendOK = m.BackendOK.Load() + m.BackendError.Load() + m.BackendDropped.Load()
+	return s
+}
+
+// Relay bumps registered outcomes of both partitions where the status is
+// written: clean.
+func Relay(m *Metrics, w http.ResponseWriter) {
+	m.Requests.Add(1)
+	m.BackendRequests.Add(1)
+	m.BackendOK.Add(1)
+	m.Proxied.Add(1)
+	w.WriteHeader(http.StatusOK)
+}
+
+// RelayDropped bumps an unregistered attempt counter at an outcome site.
+func RelayDropped(m *Metrics, w http.ResponseWriter) {
+	m.BackendDropped.Add(1) // want "not registered in any metrics partition"
+	http.Error(w, "dropped", http.StatusBadGateway)
+}

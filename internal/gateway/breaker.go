@@ -1,0 +1,129 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a per-backend circuit breaker state — the same
+// three-state machine the replica pool (internal/serve) and the crawler's
+// per-host breaker run, applied per backend process instead of per replica
+// or per origin.
+type BreakerState int
+
+const (
+	// BreakerClosed: the backend is in rotation.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the backend is ejected; requests route around it until
+	// the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: cooled down; probes (and live requests) test it.
+	BreakerHalfOpen
+)
+
+// String renders the state for /metrics and /healthz.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker tracks one backend's health: Threshold consecutive failures open
+// it (an ejection — the routing loop then skips it, failing the keys it
+// owned over to the next candidate on the ring); after Cooldown the next
+// Allow flips it half-open, and ProbeSuccesses consecutive successes close
+// it again (a readmission — its keys route home). A failure while
+// half-open re-opens it and restarts the cooldown without counting a
+// second ejection, so over any quiesced interval ejections and
+// readmissions pair up exactly.
+type breaker struct {
+	threshold      int
+	cooldown       time.Duration
+	probeSuccesses int
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int // consecutive failures while closed
+	probeOKs int // consecutive successes while half-open
+	openedAt time.Time
+}
+
+// Allow reports whether the backend may be tried now. An open breaker past
+// its cooldown transitions to half-open and admits the caller as a probe.
+func (b *breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probeOKs = 0
+		return true
+	default:
+		return true
+	}
+}
+
+// Success records a clean exchange. It reports true when this success
+// closed a half-open breaker — a readmission. A success while open (an
+// in-flight request that outlived the ejection) is ignored: re-admission
+// goes through the cooldown and probe sequence.
+func (b *breaker) Success() (readmitted bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails = 0
+		return false
+	case BreakerOpen:
+		return false
+	default:
+		b.probeOKs++
+		if b.probeOKs >= b.probeSuccesses {
+			b.state = BreakerClosed
+			b.fails = 0
+			return true
+		}
+		return false
+	}
+}
+
+// Fail records a failed exchange. It reports true when this failure opened
+// a closed breaker — an ejection. A half-open failure re-opens and
+// restarts the cooldown without counting another ejection.
+func (b *breaker) Fail(now time.Time) (ejected bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = now
+			return true
+		}
+		return false
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.probeOKs = 0
+		return false
+	default:
+		return false
+	}
+}
+
+// State returns the current state for snapshots. An open breaker reads as
+// open until an Allow observes the elapsed cooldown.
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

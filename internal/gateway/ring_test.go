@@ -1,0 +1,159 @@
+package gateway
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestRingGoldenAssignments pins key→backend assignments for a fixed
+// fleet. These are load-bearing constants: a change to the hash, the
+// vnode labelling, or the sort order silently remaps every cached domain
+// in a live fleet, so any diff here must be a deliberate,
+// migration-noted decision — not an accident this test lets through.
+func TestRingGoldenAssignments(t *testing.T) {
+	r := NewRing([]string{"10.0.0.1:8080", "10.0.0.2:8080", "10.0.0.3:8080"}, 64)
+	golden := []struct{ key, backend string }{
+		{"domain:example.com", "10.0.0.3:8080"},
+		{"domain:news.example.com", "10.0.0.2:8080"},
+		{"domain:wikipedia.org", "10.0.0.3:8080"},
+		{"domain:golang.org", "10.0.0.3:8080"},
+		{"domain:arxiv.org", "10.0.0.1:8080"},
+		{"domain:github.com", "10.0.0.3:8080"},
+		{"domain:nytimes.com", "10.0.0.2:8080"},
+		{"domain:bbc.co.uk", "10.0.0.2:8080"},
+		{"body:1a2b3c4d5e6f7788", "10.0.0.2:8080"},
+		{"body:cafebabedeadbeef", "10.0.0.3:8080"},
+	}
+	for _, g := range golden {
+		if got := r.Backend(g.key); got != g.backend {
+			t.Errorf("Backend(%q) = %q, want pinned %q", g.key, got, g.backend)
+		}
+	}
+}
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("domain:site-%d.example", i)
+	}
+	return keys
+}
+
+// TestRingRemappingBound checks the property consistent hashing exists
+// for: removing one of N backends remaps only the keys that backend
+// owned — every other key keeps its assignment — and the moved fraction
+// stays near 1/N (within 2x, covering vnode placement variance).
+func TestRingRemappingBound(t *testing.T) {
+	const n = 6
+	backends := make([]string, n)
+	for i := range backends {
+		backends[i] = fmt.Sprintf("10.0.0.%d:8080", i+1)
+	}
+	removed := backends[2]
+	full := NewRing(backends, 64)
+	reduced := NewRing(append(append([]string(nil), backends[:2]...), backends[3:]...), 64)
+
+	keys := ringKeys(3000)
+	moved := 0
+	for _, k := range keys {
+		before, after := full.Backend(k), reduced.Backend(k)
+		if before == after {
+			continue
+		}
+		moved++
+		if before != removed {
+			t.Fatalf("key %q moved %s → %s but its backend %s is still in the fleet", k, before, after, before)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removing a backend moved no keys — it owned nothing?")
+	}
+	if bound := 2 * len(keys) / n; moved > bound {
+		t.Fatalf("removing 1 of %d backends moved %d of %d keys, want ≤ %d (≈2·K/N)", n, moved, len(keys), bound)
+	}
+}
+
+// TestRingPermutationStable is the determinism property: the backend list
+// order must not matter. Any permutation (and any duplication) of the
+// same set builds a ring with identical points and identical assignments.
+func TestRingPermutationStable(t *testing.T) {
+	backends := []string{"a:1", "b:1", "c:1", "d:1", "e:1"}
+	ref := NewRing(backends, 32)
+	keys := ringKeys(500)
+	want := make([]string, len(keys))
+	for i, k := range keys {
+		want[i] = ref.Backend(k)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		perm := append([]string(nil), backends...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		if trial%3 == 0 {
+			perm = append(perm, perm[rng.Intn(len(perm))]) // duplicates collapse
+		}
+		r := NewRing(perm, 32)
+		if !reflect.DeepEqual(r.Backends(), ref.Backends()) {
+			t.Fatalf("trial %d: member set diverged: %v", trial, r.Backends())
+		}
+		for i, k := range keys {
+			if got := r.Backend(k); got != want[i] {
+				t.Fatalf("trial %d: Backend(%q) = %q under permutation %v, want %q", trial, k, got, perm, want[i])
+			}
+		}
+	}
+}
+
+// TestRingCandidates pins the failover sequence contract: the first
+// candidate is the key's owner, candidates are distinct, n<=0 yields the
+// whole fleet, and every backend is reachable as some key's owner.
+func TestRingCandidates(t *testing.T) {
+	backends := []string{"a:1", "b:1", "c:1", "d:1"}
+	r := NewRing(backends, 64)
+	owners := map[string]bool{}
+	for _, k := range ringKeys(1000) {
+		owner := r.Backend(k)
+		owners[owner] = true
+		cands := r.Candidates(k, 0)
+		if len(cands) != len(backends) {
+			t.Fatalf("Candidates(%q, 0) returned %d backends, want %d", k, len(cands), len(backends))
+		}
+		if cands[0] != owner {
+			t.Fatalf("Candidates(%q)[0] = %q, want owner %q", k, cands[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, c := range cands {
+			if seen[c] {
+				t.Fatalf("Candidates(%q) repeats %q", k, c)
+			}
+			seen[c] = true
+		}
+		if two := r.Candidates(k, 2); len(two) != 2 || two[0] != cands[0] || two[1] != cands[1] {
+			t.Fatalf("Candidates(%q, 2) = %v, want prefix of %v", k, two, cands)
+		}
+	}
+	for _, b := range backends {
+		if !owners[b] {
+			t.Errorf("backend %s owns no key of 1000 — vnode placement badly skewed", b)
+		}
+	}
+}
+
+// TestRingEmptyAndSingle covers the degenerate rings.
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil, 8)
+	if got := empty.Backend("domain:x"); got != "" {
+		t.Fatalf("empty ring Backend = %q, want empty", got)
+	}
+	if cands := empty.Candidates("domain:x", 3); cands != nil {
+		t.Fatalf("empty ring Candidates = %v, want nil", cands)
+	}
+	one := NewRing([]string{"only:1"}, 8)
+	for _, k := range ringKeys(50) {
+		if got := one.Backend(k); got != "only:1" {
+			t.Fatalf("single-backend ring sent %q to %q", k, got)
+		}
+	}
+}

@@ -211,6 +211,10 @@ func (s *Server) drainBatcher() {
 func (s *Server) executeBatch(items []*batchItem) {
 	defer s.batchWG.Done()
 	m := s.metrics
+	// One pool snapshot per batch: every checkout, retry and Put in this
+	// execution targets a single model generation even if a hot reload swaps
+	// the live pointer mid-batch.
+	pool := s.pool.Load()
 	pending := items
 	attempt := 0
 	for {
@@ -225,7 +229,7 @@ func (s *Server) executeBatch(items []*batchItem) {
 		if len(live) == 0 {
 			return
 		}
-		rep, err := s.pool.Get(live[0].ctx)
+		rep, err := pool.Get(live[0].ctx)
 		if err != nil {
 			// The lead item's context died waiting for a replica; drop it
 			// and keep trying for the rest.
@@ -239,7 +243,7 @@ func (s *Server) executeBatch(items []*batchItem) {
 			}
 		}
 		m.InFlight.Add(int64(len(live)))
-		ok := s.runBatchOn(rep, live)
+		ok := s.runBatchOn(pool, rep, live)
 		m.InFlight.Add(-int64(len(live)))
 		if ok {
 			return
@@ -275,13 +279,13 @@ func (s *Server) executeBatch(items []*batchItem) {
 // per-request latency semantics match the serial path; stage sums are
 // wall-clock waits, not CPU time. Reports false when the replica faulted
 // (it is already ejected and must not be Put back).
-func (s *Server) runBatchOn(rep Replica, items []*batchItem) bool {
+func (s *Server) runBatchOn(pool *Pool, rep Replica, items []*batchItem) bool {
 	m := s.metrics
 
 	insts := make([]*wb.Instance, len(items))
 	perrs := make([]error, len(items))
 	t0 := time.Now()
-	if !s.runStage(rep, func() {
+	if !s.runStage(pool, rep, func() {
 		for i, it := range items {
 			insts[i], perrs[i] = rep.Parse(string(it.body))
 		}
@@ -309,7 +313,7 @@ func (s *Server) runBatchOn(rep Replica, items []*batchItem) bool {
 		liveInsts = append(liveInsts, insts[i])
 	}
 	if len(liveItems) == 0 {
-		s.pool.Put(rep)
+		pool.Put(rep)
 		return true
 	}
 
@@ -319,9 +323,9 @@ func (s *Server) runBatchOn(rep Replica, items []*batchItem) bool {
 	t1 := time.Now()
 	var ok bool
 	if batched {
-		ok = s.runStage(rep, func() { briefs = br.EncodeBatch(liveInsts) })
+		ok = s.runStage(pool, rep, func() { briefs = br.EncodeBatch(liveInsts) })
 	} else {
-		ok = s.runStage(rep, func() {
+		ok = s.runStage(pool, rep, func() {
 			for i, inst := range liveInsts {
 				briefs[i] = rep.Encode(inst)
 			}
@@ -337,9 +341,9 @@ func (s *Server) runBatchOn(rep Replica, items []*batchItem) bool {
 	// Deadlines are re-checked per member after decode instead.
 	t2 := time.Now()
 	if batched {
-		ok = s.runStage(rep, func() { br.DecodeBatch(liveInsts, briefs) })
+		ok = s.runStage(pool, rep, func() { br.DecodeBatch(liveInsts, briefs) })
 	} else {
-		ok = s.runStage(rep, func() {
+		ok = s.runStage(pool, rep, func() {
 			for i, inst := range liveInsts {
 				rep.Decode(inst, briefs[i])
 			}
@@ -360,6 +364,6 @@ func (s *Server) runBatchOn(rep Replica, items []*batchItem) bool {
 		}
 		it.deliver(pipelineOutcome{brief: briefs[i]})
 	}
-	s.pool.Put(rep)
+	pool.Put(rep)
 	return true
 }

@@ -62,26 +62,14 @@ type flightResult struct {
 
 // cacheDomain extracts the page's source domain from the optional ?src=
 // query parameter — the admission/TTL policy key. The parameter accepts a
-// bare domain or a URL; empty means unattributed, which policies admit.
-// The RawQuery gate keeps the common no-query request allocation-free.
+// bare domain or a URL (briefcache.SrcDomain does the stripping); empty
+// means unattributed, which policies admit. The RawQuery gate keeps the
+// common no-query request allocation-free.
 func cacheDomain(r *http.Request) string {
 	if r.URL.RawQuery == "" {
 		return ""
 	}
-	src := r.URL.Query().Get("src")
-	if src == "" {
-		return ""
-	}
-	if i := strings.Index(src, "://"); i >= 0 {
-		src = src[i+3:]
-	}
-	if i := strings.IndexAny(src, "/?#"); i >= 0 {
-		src = src[:i]
-	}
-	if i := strings.LastIndexByte(src, ':'); i >= 0 && !strings.Contains(src[i:], "]") {
-		src = src[:i] // host:port (a colon inside [v6] brackets is not a port)
-	}
-	return briefcache.NormalizeDomain(src)
+	return briefcache.SrcDomain(r.URL.Query().Get("src"))
 }
 
 // cacheServe runs the cache stage for one admitted POST. It returns

@@ -42,12 +42,15 @@ func recoverPanic(fn func()) (panicked any) {
 //     replica enters re-admission probing instead of rotation.
 //
 // It reports whether the stage completed cleanly; on false the replica
-// has been ejected and must not be Put back.
-func (s *Server) runStage(rep Replica, fn func()) bool {
+// has been ejected and must not be Put back. pool is the pool rep was
+// checked out of — the caller's request-scoped snapshot, so ejection and
+// re-admission target the replica's own generation even across a hot
+// reload.
+func (s *Server) runStage(pool *Pool, rep Replica, fn func()) bool {
 	if s.cfg.StallTimeout <= 0 {
 		if p := recoverPanic(fn); p != nil {
 			s.metrics.Panics.Add(1)
-			s.ejectAndProbe(rep)
+			s.ejectAndProbe(pool, rep)
 			return false
 		}
 		return true
@@ -60,13 +63,13 @@ func (s *Server) runStage(rep Replica, fn func()) bool {
 	case p := <-done:
 		if p != nil {
 			s.metrics.Panics.Add(1)
-			s.ejectAndProbe(rep)
+			s.ejectAndProbe(pool, rep)
 			return false
 		}
 		return true
 	case <-timer.C:
 		s.metrics.Stalls.Add(1)
-		s.pool.Eject(rep)
+		pool.Eject(rep)
 		// The wedged goroutine still owns the replica's scratch state;
 		// only once it resolves may probing (and re-admission) begin. If
 		// it never resolves, the replica is lost capacity — degraded, but
@@ -75,7 +78,7 @@ func (s *Server) runStage(rep Replica, fn func()) bool {
 			if p := <-done; p != nil {
 				s.metrics.Panics.Add(1)
 			}
-			s.probeLoop(rep)
+			s.probeLoop(pool, rep)
 		}()
 		return false
 	}
@@ -83,16 +86,18 @@ func (s *Server) runStage(rep Replica, fn func()) bool {
 
 // ejectAndProbe takes rep out of rotation and starts its re-admission
 // prober.
-func (s *Server) ejectAndProbe(rep Replica) {
-	s.pool.Eject(rep)
-	go s.probeLoop(rep)
+func (s *Server) ejectAndProbe(pool *Pool, rep Replica) {
+	pool.Eject(rep)
+	go s.probeLoop(pool, rep)
 }
 
 // probeLoop periodically briefs the probe page on an ejected replica and
-// readmits it after ProbeSuccesses consecutive clean runs. It exits on
-// shutdown; an ejected replica then simply stays out of rotation.
-func (s *Server) probeLoop(rep Replica) {
-	s.pool.BeginProbe(rep)
+// readmits it after ProbeSuccesses consecutive clean runs — into the pool
+// it was ejected from, which after a hot reload may be a retired
+// generation (the readmission is then harmless and the loop exits). It
+// exits on shutdown; an ejected replica then simply stays out of rotation.
+func (s *Server) probeLoop(pool *Pool, rep Replica) {
+	pool.BeginProbe(rep)
 	ticker := time.NewTicker(s.cfg.ProbeInterval)
 	defer ticker.Stop()
 	consecutive := 0
@@ -108,7 +113,7 @@ func (s *Server) probeLoop(rep Replica) {
 			consecutive = 0
 		}
 		if consecutive >= s.cfg.ProbeSuccesses {
-			s.pool.Readmit(rep)
+			pool.Readmit(rep)
 			return
 		}
 	}
@@ -134,13 +139,13 @@ func (s *Server) probeOnce(rep Replica) (ok bool) {
 // deadline checks between stages. Stage latencies are observed for stages
 // that complete; a faulted stage observes nothing (its duration is the
 // fault's, not the pipeline's).
-func (s *Server) briefOn(ctxErr func() error, rep Replica, body []byte) pipelineOutcome {
+func (s *Server) briefOn(ctxErr func() error, pool *Pool, rep Replica, body []byte) pipelineOutcome {
 	m := s.metrics
 
 	var inst *wb.Instance
 	var perr error
 	t0 := time.Now()
-	if !s.runStage(rep, func() { inst, perr = rep.Parse(string(body)) }) {
+	if !s.runStage(pool, rep, func() { inst, perr = rep.Parse(string(body)) }) {
 		return pipelineOutcome{faulted: true}
 	}
 	m.Parse.Observe(time.Since(t0))
@@ -153,7 +158,7 @@ func (s *Server) briefOn(ctxErr func() error, rep Replica, body []byte) pipeline
 
 	var brief *wb.Brief
 	t1 := time.Now()
-	if !s.runStage(rep, func() { brief = rep.Encode(inst) }) {
+	if !s.runStage(pool, rep, func() { brief = rep.Encode(inst) }) {
 		return pipelineOutcome{faulted: true}
 	}
 	m.Encode.Observe(time.Since(t1))
@@ -162,7 +167,7 @@ func (s *Server) briefOn(ctxErr func() error, rep Replica, body []byte) pipeline
 	}
 
 	t2 := time.Now()
-	if !s.runStage(rep, func() { rep.Decode(inst, brief) }) {
+	if !s.runStage(pool, rep, func() { rep.Decode(inst, brief) }) {
 		return pipelineOutcome{faulted: true}
 	}
 	m.Decode.Observe(time.Since(t2))

@@ -358,14 +358,19 @@ type metricsSnapshot struct {
 			Teacher histogramSnapshot `json:"teacher"`
 		} `json:"latency_ms"`
 	} `json:"cascade"`
+	Reload struct {
+		Generation   int64 `json:"generation"`
+		ReloadsTotal int64 `json:"reloads_total"`
+	} `json:"reload"`
 }
 
 // snapshot collects a point-in-time view of every counter. batching flags
 // whether the server dispatches through the micro-batch scheduler; cache
 // is the briefing cache (nil when disabled), read for eviction and
 // occupancy figures; cascade and threshold describe the student fast path
-// (threshold is only meaningful when cascade is set).
-func (m *Metrics) snapshot(pool *Pool, batching bool, cache *briefcache.Cache, cascade bool, threshold float64) metricsSnapshot {
+// (threshold is only meaningful when cascade is set); gen and reloads are
+// the hot-reload generation counter and lifetime reload count.
+func (m *Metrics) snapshot(pool *Pool, batching bool, cache *briefcache.Cache, cascade bool, threshold float64, gen, reloads int64) metricsSnapshot {
 	var s metricsSnapshot
 	s.RequestsTotal = m.Requests.Load()
 	s.Responses.OK = m.OK.Load()
@@ -424,5 +429,7 @@ func (m *Metrics) snapshot(pool *Pool, batching bool, cache *briefcache.Cache, c
 	}
 	s.Cascade.LatencyMS.Student = m.StudentLatency.snapshot()
 	s.Cascade.LatencyMS.Teacher = m.TeacherLatency.snapshot()
+	s.Reload.Generation = gen
+	s.Reload.ReloadsTotal = reloads
 	return s
 }

@@ -1,0 +1,376 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"webbrief/internal/corpus"
+	"webbrief/internal/tensor"
+	"webbrief/internal/textproc"
+	"webbrief/internal/wb"
+)
+
+// genReplica briefs successfully with a body that names its model
+// generation twice: Encode stamps the first copy, Decode the second. A
+// response whose two stamps disagree — or that matches no known
+// generation's bytes — would prove a briefing tore across a hot reload.
+// The small decode sleep keeps briefings in flight long enough for swaps
+// to land mid-request.
+type genReplica struct {
+	gen   string
+	delay time.Duration
+}
+
+func (r *genReplica) Parse(html string) (*wb.Instance, error) { return &wb.Instance{}, nil }
+func (r *genReplica) Encode(inst *wb.Instance) *wb.Brief {
+	return &wb.Brief{Topic: []string{r.gen}}
+}
+func (r *genReplica) Decode(inst *wb.Instance, b *wb.Brief) {
+	if r.delay > 0 {
+		time.Sleep(r.delay)
+	}
+	b.Topic = append(b.Topic, r.gen)
+}
+
+// genBytes is the exact wire body a generation's briefing produces: the
+// brief JSON plus the json.Encoder trailing newline.
+func genBytes(t *testing.T, gen string) []byte {
+	t.Helper()
+	j, err := json.Marshal(&wb.Brief{Topic: []string{gen, gen}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(j, '\n')
+}
+
+func genPool(gen string, delay time.Duration, n int) *Pool {
+	reps := make([]Replica, n)
+	for i := range reps {
+		reps[i] = &genReplica{gen: gen, delay: delay}
+	}
+	return PoolOf(reps...)
+}
+
+// runReloadEquivalence hammers srv with concurrent clients while the main
+// goroutine swaps through the given generations, then checks the torn-read
+// contract: every single response is a 200 whose body is byte-identical to
+// exactly one generation's output — never a mix, never an error, never a
+// drop — and the generation counter ends at 1+len(swaps).
+func runReloadEquivalence(t *testing.T, srv *Server, url string, swapGens []string, delay time.Duration) {
+	t.Helper()
+	wants := map[string][]byte{"g1": genBytes(t, "g1")}
+	for _, g := range swapGens {
+		wants[g] = genBytes(t, g)
+	}
+
+	const clients = 8
+	const perClient = 40
+	var (
+		wg     sync.WaitGroup
+		served atomic.Int64
+		byGen  sync.Map // gen -> *atomic.Int64
+	)
+	for g := range wants {
+		byGen.Store(g, new(atomic.Int64))
+	}
+	errCh := make(chan error, clients*perClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				status, body, err := postBrief(url, "<html><body>reload load</body></html>")
+				if err != nil || status != http.StatusOK {
+					errCh <- fmt.Errorf("status %d err %v", status, err)
+					continue
+				}
+				matched := false
+				for g, want := range wants {
+					if bytes.Equal(body, want) {
+						n, _ := byGen.Load(g)
+						n.(*atomic.Int64).Add(1)
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					errCh <- fmt.Errorf("torn or unknown response body: %q", body)
+				}
+				served.Add(1)
+			}
+		}()
+	}
+
+	// Swap generations mid-load: wait for some traffic to land on the
+	// current generation, then swap to the next. waitCond bounds each wait.
+	prevServed := int64(0)
+	for _, g := range swapGens {
+		target := prevServed + clients // at least one response per swap window
+		waitCond(t, "load to progress before swap", func() bool { return served.Load() >= target })
+		if _, err := srv.SwapPool(genPool(g, delay, srv.Pool().Size())); err != nil {
+			t.Fatalf("SwapPool(%s): %v", g, err)
+		}
+		prevServed = served.Load()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Errorf("client: %v", err)
+	}
+
+	total := served.Load()
+	if want := int64(clients * perClient); total != want {
+		t.Fatalf("served %d of %d requests — dropped across reload", total, want)
+	}
+	// The last swapped generation must be live: a post-quiesce request
+	// briefs on it deterministically.
+	last := swapGens[len(swapGens)-1]
+	status, body, err := postBrief(url, "<html><body>post-swap</body></html>")
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("post-swap brief: status %d err %v", status, err)
+	}
+	if !bytes.Equal(body, wants[last]) {
+		t.Fatalf("post-swap response not on generation %s:\n got %q\nwant %q", last, body, wants[last])
+	}
+
+	if got, want := srv.Generation(), int64(1+len(swapGens)); got != want {
+		t.Fatalf("generation = %d, want %d", got, want)
+	}
+	if got, want := srv.Reloads(), int64(len(swapGens)); got != want {
+		t.Fatalf("reloads = %d, want %d", got, want)
+	}
+	// Zero dropped requests, exactly: OK must account for every client
+	// success including the post-swap probe.
+	if got, want := srv.Metrics().OK.Load(), total+1; got != want {
+		t.Fatalf("metrics OK = %d, client successes = %d", got, want)
+	}
+}
+
+// TestHotReloadEquivalenceSerial swaps three model generations under
+// concurrent serial-path load and asserts no response is ever torn across
+// a generation or dropped.
+func TestHotReloadEquivalenceSerial(t *testing.T) {
+	srv := NewFromPool(genPool("g1", 200*time.Microsecond, 2), Config{QueueDepth: 64})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	runReloadEquivalence(t, srv, ts.URL, []string{"g2", "g3", "g4"}, 200*time.Microsecond)
+}
+
+// TestHotReloadEquivalenceBatched runs the same torn-read contract through
+// the micro-batch scheduler: a batch snapshots the pool once, so members
+// of one batch all brief on a single generation even when the swap lands
+// between collect and execute.
+func TestHotReloadEquivalenceBatched(t *testing.T) {
+	srv := NewFromPool(genPool("g1", 200*time.Microsecond, 2), Config{
+		QueueDepth:  64,
+		BatchWindow: 300 * time.Microsecond,
+		BatchMax:    4,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	runReloadEquivalence(t, srv, ts.URL, []string{"g2", "g3"}, 200*time.Microsecond)
+	srv.BeginShutdown()
+}
+
+// TestSwapPoolRejectsBadPools pins the two swap preconditions: capacity
+// must not change across a reload, and the incoming pool must be fully
+// idle (nothing may already hold one of its replicas).
+func TestSwapPoolRejectsBadPools(t *testing.T) {
+	srv := NewFromPool(genPool("g1", 0, 2), Config{})
+	if _, err := srv.SwapPool(genPool("g2", 0, 3)); err == nil {
+		t.Fatal("SwapPool accepted a pool of a different size")
+	}
+	busy := genPool("g2", 0, 2)
+	if _, ok := busy.TryGet(); !ok {
+		t.Fatal("TryGet on fresh pool failed")
+	}
+	if _, err := srv.SwapPool(busy); err == nil {
+		t.Fatal("SwapPool accepted a non-idle pool")
+	}
+	if got := srv.Generation(); got != 1 {
+		t.Fatalf("failed swaps must not bump generation: got %d", got)
+	}
+}
+
+// trainedModelSeed is trainedModel with a controllable model seed, so a
+// reload test can build a second, genuinely different bundle over the same
+// corpus and vocabulary.
+func trainedModelSeed(t testing.TB, seed int64) (*wb.JointWB, *textproc.Vocab, []*corpus.Page) {
+	t.Helper()
+	ds, err := corpus.Generate(corpus.Config{Seed: 1, PagesPerDomain: 4, SeenDomains: 2, UnseenDomains: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := corpus.BuildVocab(ds.Pages)
+	insts := wb.NewInstances(ds.Pages, v, 0)
+	enc := wb.NewGloVeEncoder(tensor.Randn(v.Size(), 16, 0.1, rand.New(rand.NewSource(seed))))
+	cfg := wb.DefaultConfig()
+	cfg.Hidden = 16
+	cfg.Seed = seed
+	m := wb.NewJointWB("serve-test", enc, v.Size(), cfg)
+	tc := wb.DefaultTrainConfig()
+	tc.Epochs = 2
+	wb.TrainModel(m, insts, tc)
+	return m, v, ds.Pages
+}
+
+// TestReloadRealModel reloads a real trained bundle end to end — build,
+// warm, swap — and asserts post-reload responses are byte-identical to the
+// new model's serial reference briefings, with the reload generation
+// visible at /metrics and via /admin/reload.
+func TestReloadRealModel(t *testing.T) {
+	m1, v1, pages := trainedModelSeed(t, 51)
+	m2, v2, _ := trainedModelSeed(t, 52)
+	const beam = 2
+
+	srv, err := New(m1, v1, Config{Replicas: 2, BeamWidth: beam})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	wireBrief := func(m *wb.JointWB, v *textproc.Vocab, html string) []byte {
+		serial := wb.NewBriefer(m, v, beam, 0)
+		b, err := serial.BriefHTML(html)
+		if err != nil {
+			t.Fatalf("serial brief: %v", err)
+		}
+		j, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(j, '\n')
+	}
+
+	// Pre-reload sanity: generation 1 serves the old model.
+	status, body, err := postBrief(ts.URL, pages[0].HTML)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("pre-reload brief: status %d err %v", status, err)
+	}
+	if !bytes.Equal(body, wireBrief(m1, v1, pages[0].HTML)) {
+		t.Fatal("pre-reload response diverges from old model's serial path")
+	}
+
+	gen, err := srv.Reload(m2, v2)
+	if err != nil {
+		t.Fatalf("Reload: %v", err)
+	}
+	if gen != 2 {
+		t.Fatalf("Reload returned generation %d, want 2", gen)
+	}
+
+	// Every page must now brief byte-identically to the new model's serial
+	// path — the swapped pool is complete and warm, not a partial fleet.
+	for i, p := range pages {
+		status, body, err := postBrief(ts.URL, p.HTML)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("post-reload brief %d: status %d err %v", i, status, err)
+		}
+		if !bytes.Equal(body, wireBrief(m2, v2, p.HTML)) {
+			t.Fatalf("post-reload page %d diverges from new model's serial path", i)
+		}
+	}
+
+	// /metrics reports the new generation.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Reload struct {
+			Generation   int64 `json:"generation"`
+			ReloadsTotal int64 `json:"reloads_total"`
+		} `json:"reload"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Reload.Generation != 2 || snap.Reload.ReloadsTotal != 1 {
+		t.Fatalf("metrics reload block = %+v, want generation 2 / reloads 1", snap.Reload)
+	}
+}
+
+// TestAdminReloadEndpoint pins the admin surface: 405 for non-POSTs, 409
+// with no reload source, 200 + generation JSON once a source is set, and
+// 500 (live pool untouched) when the source fails.
+func TestAdminReloadEndpoint(t *testing.T) {
+	m, v, pages := trainedModelSeed(t, 51)
+	srv, err := New(m, v, Config{Replicas: 1, BeamWidth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get, err := http.Get(ts.URL + "/admin/reload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /admin/reload = %d, want 405", get.StatusCode)
+	}
+
+	post := func() (int, string) {
+		resp, err := http.Post(ts.URL+"/admin/reload", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 512)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, _ := post(); code != http.StatusConflict {
+		t.Fatalf("reload with no source = %d, want 409", code)
+	}
+
+	srv.SetReloadSource(func() (*wb.JointWB, *textproc.Vocab, error) {
+		return nil, nil, fmt.Errorf("bundle read failed")
+	})
+	if code, _ := post(); code != http.StatusInternalServerError {
+		t.Fatal("failing source must 500")
+	}
+	if srv.Generation() != 1 {
+		t.Fatalf("failed reload bumped generation to %d", srv.Generation())
+	}
+	// Live pool still serves after the failed reload.
+	if status, _, err := postBrief(ts.URL, pages[0].HTML); err != nil || status != http.StatusOK {
+		t.Fatalf("brief after failed reload: status %d err %v", status, err)
+	}
+
+	srv.SetReloadSource(func() (*wb.JointWB, *textproc.Vocab, error) { return m, v, nil })
+	code, body := post()
+	if code != http.StatusOK {
+		t.Fatalf("reload = %d body %q, want 200", code, body)
+	}
+	var out struct {
+		Generation int64 `json:"generation"`
+		Replicas   int   `json:"replicas"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("reload response %q: %v", body, err)
+	}
+	if out.Generation != 2 || out.Replicas != 1 {
+		t.Fatalf("reload response = %+v, want generation 2 / replicas 1", out)
+	}
+}

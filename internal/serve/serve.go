@@ -156,9 +156,22 @@ func (c Config) withDefaults() Config {
 // handlers off Mux.
 type Server struct {
 	cfg     Config
-	pool    *Pool
 	metrics *Metrics
 	mux     *http.ServeMux
+
+	// pool is the live replica pool. Hot reload (reload.go) swaps it
+	// atomically; request paths snapshot the pointer once (at checkout /
+	// per batch) so one briefing never straddles two generations. Always
+	// non-nil after construction.
+	pool atomic.Pointer[Pool]
+
+	// Hot-reload state (reload.go): generation starts at 1 for the boot
+	// model and bumps per completed reload; reloadSource is the registered
+	// bundle loader behind /admin/reload and ReloadFromSource.
+	generation   atomic.Int64
+	reloads      atomic.Int64
+	reloadMu     sync.Mutex
+	reloadSource ReloadSource
 
 	// cache, when non-nil, serves repeat briefings without a replica
 	// checkout and coalesces concurrent cold-key misses (see cache.go).
@@ -195,13 +208,7 @@ type Server struct {
 // replicas via NewCascadePool when cfg.Cascade is set).
 func New(m *wb.JointWB, v *textproc.Vocab, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	var pool *Pool
-	var err error
-	if cfg.Cascade {
-		pool, err = NewCascadePool(m, v, cfg.Replicas, cfg.BeamWidth, cfg.MaxTokens, cfg.ConfidenceThreshold)
-	} else {
-		pool, err = NewPool(m, v, cfg.Replicas, cfg.BeamWidth, cfg.MaxTokens)
-	}
+	pool, err := buildPool(m, v, cfg, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -214,12 +221,13 @@ func NewFromPool(pool *Pool, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:        cfg,
-		pool:       pool,
 		metrics:    &Metrics{},
 		queueSlots: make(chan struct{}, cfg.QueueDepth),
 		shutdownCh: make(chan struct{}),
 		mux:        http.NewServeMux(),
 	}
+	s.pool.Store(pool)
+	s.generation.Store(1)
 	switch {
 	case cfg.Cache != nil:
 		s.cache = cfg.Cache
@@ -235,6 +243,7 @@ func NewFromPool(pool *Pool, cfg Config) *Server {
 	s.mux.HandleFunc("/brief", s.handleBrief)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/admin/reload", s.handleReload)
 	if cfg.BatchWindow > 0 {
 		// Channel capacity matches the slot count, so a request holding a
 		// slot can always enqueue without blocking.
@@ -255,8 +264,8 @@ func (s *Server) Handler() http.Handler { return s }
 // Metrics exposes the live counters, e.g. for tests or embedders.
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// Pool exposes the replica pool.
-func (s *Server) Pool() *Pool { return s.pool }
+// Pool exposes the live replica pool (the current generation's).
+func (s *Server) Pool() *Pool { return s.pool.Load() }
 
 // Cache exposes the briefing cache (nil when caching is disabled).
 func (s *Server) Cache() *briefcache.Cache { return s.cache }
@@ -315,11 +324,12 @@ func (s *Server) Warm(html string) error {
 	if html == "" {
 		html = WarmupHTML(0)
 	}
-	if err := s.pool.Warm(html); err != nil {
+	pool := s.pool.Load()
+	if err := pool.Warm(html); err != nil {
 		return err
 	}
 	if s.batchCh != nil {
-		return s.pool.WarmBatch(html, s.cfg.BatchMax)
+		return pool.WarmBatch(html, s.cfg.BatchMax)
 	}
 	return nil
 }
@@ -404,9 +414,12 @@ func (s *Server) handleBrief(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Admission: take a replica if one is idle; otherwise wait in a
-	// bounded queue or shed with 429.
+	// bounded queue or shed with 429. The pool pointer is snapshotted once:
+	// checkout, retries and Put all target one generation, so a hot reload
+	// mid-request can never hand this briefing a mixed pool.
 	queueStart := time.Now()
-	rep, ok := s.pool.TryGet()
+	pool := s.pool.Load()
+	rep, ok := pool.TryGet()
 	if !ok {
 		select {
 		case s.queueSlots <- struct{}{}:
@@ -418,7 +431,7 @@ func (s *Server) handleBrief(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		m.Queued.Add(1)
-		rep, err = s.pool.Get(ctx)
+		rep, err = pool.Get(ctx)
 		m.Queued.Add(-1)
 		<-s.queueSlots
 		if err != nil {
@@ -439,16 +452,16 @@ func (s *Server) handleBrief(w http.ResponseWriter, r *http.Request) {
 	// poisoning this or any later request.
 	var o pipelineOutcome
 	for attempt := 0; ; attempt++ {
-		o = s.briefOn(ctx.Err, rep, body)
+		o = s.briefOn(ctx.Err, pool, rep, body)
 		if !o.faulted {
-			s.pool.Put(rep)
+			pool.Put(rep)
 			break
 		}
 		if attempt >= s.cfg.ReplicaRetries {
 			break
 		}
 		m.Retries.Add(1)
-		rep, err = s.pool.Get(ctx)
+		rep, err = pool.Get(ctx)
 		if err != nil {
 			s.failCtx(w, &lg, err)
 			return
@@ -538,11 +551,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Queued   int64  `json:"queued"`
 		InFlight int64  `json:"in_flight"`
 	}
+	pool := s.pool.Load()
 	h := health{
 		Status:   "ok",
-		Replicas: s.pool.Size(),
-		Healthy:  s.pool.Healthy(),
-		Idle:     s.pool.Idle(),
+		Replicas: pool.Size(),
+		Healthy:  pool.Healthy(),
+		Idle:     pool.Idle(),
 		Queued:   s.metrics.Queued.Load(),
 		InFlight: s.metrics.InFlight.Load(),
 	}
@@ -569,7 +583,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(s.metrics.snapshot(s.pool, s.batchCh != nil, s.cache, s.cfg.Cascade, s.cfg.ConfidenceThreshold))
+	enc.Encode(s.metrics.snapshot(s.pool.Load(), s.batchCh != nil, s.cache, s.cfg.Cascade, s.cfg.ConfidenceThreshold,
+		s.generation.Load(), s.reloads.Load()))
 }
 
 // accessEntry is one structured access-log line. Struct field order is the

@@ -56,6 +56,13 @@ go test -race -run 'TestChaosServeBatchedSoak' ./internal/serve
 echo "== cached chaos gate (cache on, one replica faulted, >=99% success, no garbage cached)"
 go test -race -run 'TestChaosServeCachedSoak' ./internal/serve
 
+echo "== gateway chaos gate (backend killed cold mid-load, fleet hot reload mid-chaos, >=99% success, exact /metrics reconciliation)"
+go test -race -run 'TestGatewayChaosSoak|TestGatewayFailoverAndBreaker|TestHotReloadEquivalence|TestAdminReload' \
+    ./internal/gateway ./internal/serve
+
+echo "== ring determinism gate (golden assignments, remapping bound, permutation stability)"
+go test -run 'TestRing' ./internal/gateway
+
 echo "== cascade equivalence (float32 student vs float64 teacher: wire bytes, tier partition, quality gate)"
 go test -race -run 'TestCascade' ./internal/serve
 go test -run 'TestStudent|TestConvertJointWB' ./internal/wb
@@ -66,7 +73,10 @@ go test -run '^$' -bench 'Kernels32' -benchtime 1x ./internal/tensor >/dev/null
 echo "== wbserve smoke (train tiny bundle, boot, curl /brief + /metrics, drain)"
 SMOKEDIR=$(mktemp -d)
 SERVE_PID=""
-trap '[[ -n "$SERVE_PID" ]] && kill "$SERVE_PID" 2>/dev/null; rm -rf "$SMOKEDIR"' EXIT
+B1_PID=""
+B2_PID=""
+GATE_PID=""
+trap 'for p in "$SERVE_PID" "$B1_PID" "$B2_PID" "$GATE_PID"; do [[ -n "$p" ]] && kill "$p" 2>/dev/null; done; rm -rf "$SMOKEDIR"' EXIT
 go run ./cmd/wbtrain -domains 2 -pages 4 -epochs 2 -out "$SMOKEDIR/model.bin" >/dev/null 2>&1
 go build -o "$SMOKEDIR/wbserve" ./cmd/wbserve
 "$SMOKEDIR/wbserve" -model "$SMOKEDIR/model.bin" -addr 127.0.0.1:18080 -replicas 2 -queue 8 -quiet &
@@ -166,6 +176,50 @@ kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
 echo "   wbserve cascade smoke ok"
+
+echo "== wbgate fleet smoke (1 gateway + 2 backends: routed curls, rolling hot reload, one backend killed cold, /metrics reconciles)"
+go build -o "$SMOKEDIR/wbgate" ./cmd/wbgate
+"$SMOKEDIR/wbserve" -model "$SMOKEDIR/model.bin" -addr 127.0.0.1:18084 -replicas 2 -queue 8 -quiet &
+B1_PID=$!
+"$SMOKEDIR/wbserve" -model "$SMOKEDIR/model.bin" -addr 127.0.0.1:18085 -replicas 2 -queue 8 -quiet &
+B2_PID=$!
+"$SMOKEDIR/wbgate" -backends 127.0.0.1:18084,127.0.0.1:18085 -addr 127.0.0.1:18086 \
+    -breaker-threshold 2 -breaker-cooldown 200ms -probe-interval 50ms 2>/dev/null &
+GATE_PID=$!
+for i in $(seq 1 50); do
+    curl -sf http://127.0.0.1:18084/healthz >/dev/null 2>&1 \
+        && curl -sf http://127.0.0.1:18085/healthz >/dev/null 2>&1 \
+        && curl -sf http://127.0.0.1:18086/healthz >/dev/null 2>&1 && break
+    sleep 0.2
+done
+curl -sf http://127.0.0.1:18086/healthz | grep -q '"status":"ok"'
+PAGE='<html><body><h1>title : novel edition</h1><div>price : $ 9.99</div></body></html>'
+for d in books-0.example books-1.example books-2.example books-3.example; do
+    printf '%s' "$PAGE" | curl -sf --data-binary @- "http://127.0.0.1:18086/brief?src=https://$d/p" | grep -q '"Topic"'
+done
+curl -sf -X POST http://127.0.0.1:18086/admin/reload | python3 -c '
+import json,sys
+r = json.load(sys.stdin)
+assert r["reloaded"] == 2 and r["fleet_generation"] == 2, r
+'
+kill -9 "$B2_PID"
+wait "$B2_PID" 2>/dev/null || true
+B2_PID=""
+for d in books-0.example books-1.example books-2.example books-3.example; do
+    printf '%s' "$PAGE" | curl -sf --data-binary @- "http://127.0.0.1:18086/brief?src=https://$d/p" | grep -q '"Topic"'
+done
+curl -sf http://127.0.0.1:18086/metrics | python3 -c '
+import json,sys
+m = json.load(sys.stdin)
+assert m["requests_total"] == 8 == m["responses"]["proxied"], m["responses"]
+assert m["backend_requests_total"] == m["outcomes"]["backend_ok_total"] + m["outcomes"]["backend_error_total"], m["outcomes"]
+assert m["reload"]["fleet_generation"] == 2 and m["reload"]["fleet_reloads_total"] == 1, m["reload"]
+'
+kill -TERM "$GATE_PID" "$B1_PID"
+wait "$GATE_PID" "$B1_PID" 2>/dev/null || true
+GATE_PID=""
+B1_PID=""
+echo "   wbgate fleet smoke ok"
 
 if [[ "$FUZZTIME" != "0" ]]; then
     echo "== fuzz smoke (${FUZZTIME} per target)"
